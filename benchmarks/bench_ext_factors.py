@@ -1,0 +1,47 @@
+"""Extension: ViFi across environmental factors (companion TR).
+
+The paper reports (via its technical report) that ViFi's advantage
+holds across BS density and vehicle speed.  Expected shape: ViFi
+delivers at least as much as BRR at every operating point, and the
+advantage does not collapse at low density or high speed.
+"""
+
+from conftest import print_table
+
+from repro.experiments.factors import density_sweep, speed_sweep
+
+SIZES = (3, 6, 11)
+SPEEDS = (20.0, 40.0, 60.0)
+
+
+def run_experiment():
+    return (
+        density_sweep(seed=5, subset_sizes=SIZES),
+        speed_sweep(seed=5, speeds_kmh=SPEEDS),
+    )
+
+
+def test_ext_environmental_factors(benchmark, save_results):
+    by_density, by_speed = benchmark.pedantic(run_experiment, rounds=1,
+                                              iterations=1)
+    print_table(
+        "Extension: delivery vs BS density",
+        [(f"{size} BSes", r["ViFi"], r["BRR"])
+         for size, r in by_density.items()],
+        headers=["ViFi", "BRR"],
+    )
+    print_table(
+        "Extension: delivery vs vehicle speed",
+        [(f"{speed:.0f} km/h", r["ViFi"], r["BRR"])
+         for speed, r in by_speed.items()],
+        headers=["ViFi", "BRR"],
+    )
+    save_results("ext_factors", {
+        "density": {str(k): v for k, v in by_density.items()},
+        "speed": {str(k): v for k, v in by_speed.items()},
+    })
+
+    for rates in list(by_density.values()) + list(by_speed.values()):
+        assert rates["ViFi"] >= rates["BRR"] - 0.02
+    # More BSes help ViFi (diversity grows).
+    assert by_density[11]["ViFi"] >= by_density[3]["ViFi"] - 0.02

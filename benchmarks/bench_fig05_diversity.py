@@ -1,0 +1,72 @@
+"""Figure 5: CDF of the number of BSes heard per one-second interval.
+
+Paper shape: vehicles are commonly within range of two or more BSes on
+the same channel in all three environments; the denser Channel 6 of
+DieselNet dominates Channel 1; the >=50%-of-beacons notion (Fig. 5b)
+shifts every curve left.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.experiments.study import diversity_cdfs
+from repro.testbeds.dieselnet import DieselNetTestbed
+from repro.testbeds.vanlan import VanLanTestbed
+
+
+def run_experiment():
+    vanlan = VanLanTestbed(seed=42)
+    logs = {
+        "VanLAN": [vanlan.beacon_log_from_trace(
+            vanlan.generate_probe_trace(trip)) for trip in (0, 1)],
+        "DieselNet Ch1": [DieselNetTestbed(1, seed=9).generate_beacon_log(0)],
+        "DieselNet Ch6": [DieselNetTestbed(6, seed=9).generate_beacon_log(0)],
+    }
+    out = {}
+    for name, env_logs in logs.items():
+        for notion, min_ratio in (("any", None), ("half", 0.5)):
+            xs, ys, hist = diversity_cdfs(env_logs, min_ratio=min_ratio)
+            out[(name, notion)] = hist
+    return out
+
+
+def _stats(hist):
+    counts = np.repeat(np.arange(len(hist)), hist)
+    return (
+        float((counts == 0).mean()),
+        float(np.median(counts)),
+        float((counts >= 2).mean()),
+    )
+
+
+def test_fig05_visible_bs_cdf(benchmark, save_results):
+    hists = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    summary = {}
+    for (env, notion), hist in hists.items():
+        p0, med, p2 = _stats(hist)
+        rows.append((f"{env} ({notion} beacon)", p0, med, p2))
+        summary[f"{env}/{notion}"] = {
+            "p_zero": p0, "median": med, "p_two_plus": p2,
+            "histogram": [int(h) for h in hist],
+        }
+    print_table("Figure 5: visible BSes per second", rows,
+                headers=["P(0)", "median", "P(>=2)"])
+    save_results("fig05_diversity", summary)
+
+    # Diversity premise: >=2 BSes most of the time under the any-beacon
+    # notion, in every environment.
+    for env in ("VanLAN", "DieselNet Ch1", "DieselNet Ch6"):
+        _, med, p2 = _stats(hists[(env, "any")])
+        assert med >= 2
+        assert p2 > 0.5
+    # Channel 6 is denser than Channel 1.
+    _, med1, _ = _stats(hists[("DieselNet Ch1", "any")])
+    _, med6, _ = _stats(hists[("DieselNet Ch6", "any")])
+    assert med6 >= med1
+    # The 50%-beacons notion is strictly harsher.
+    for env in ("VanLAN", "DieselNet Ch1", "DieselNet Ch6"):
+        p0_any, _, _ = _stats(hists[(env, "any")])
+        p0_half, _, _ = _stats(hists[(env, "half")])
+        assert p0_half >= p0_any

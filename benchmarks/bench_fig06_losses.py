@@ -1,0 +1,57 @@
+"""Figure 6: the nature of losses.
+
+(a) Burstiness: P(losing packet i+k | packet i lost) starts far above
+    the unconditional loss probability at small k and decays toward it.
+(b) Path dependence: after a loss from BS A, A's next-packet reception
+    collapses while BS B's barely moves — the property that makes
+    macrodiversity effective.
+"""
+
+from conftest import print_table
+
+from repro.experiments.study import burst_loss_experiment, two_bs_experiment
+from repro.testbeds.vanlan import VanLanTestbed
+
+LAGS = (1, 2, 5, 10, 50, 100, 500, 1000, 2000)
+
+
+def run_experiment():
+    testbed = VanLanTestbed(seed=42)
+    curve, overall = burst_loss_experiment(
+        testbed, bs_id=5, trip=0, lags=LAGS, duration_s=120.0,
+    )
+    conditionals = two_bs_experiment(testbed, bs_a=5, bs_b=6, trip=0,
+                                     duration_s=150.0)
+    return curve, overall, conditionals
+
+
+def test_fig06_loss_structure(benchmark, save_results):
+    curve, overall, cond = benchmark.pedantic(run_experiment, rounds=1,
+                                              iterations=1)
+
+    print_table(
+        "Figure 6(a): P(loss i+k | loss i), 10 ms probes",
+        [(f"k={k}", v) for k, v in curve.items()]
+        + [("unconditional", overall)],
+    )
+    print_table(
+        "Figure 6(b): two-BS reception probabilities, 20 ms packets",
+        [(k, v) for k, v in cond.items()],
+    )
+    save_results("fig06_losses", {
+        "burst_curve": {str(k): v for k, v in curve.items()},
+        "overall_loss": overall,
+        "two_bs": cond,
+    })
+
+    # (a) Losses are bursty and the excess decays with lag.
+    assert curve[1] > 1.3 * overall
+    assert curve[1] > curve[2000] * 1.1
+    assert abs(curve[2000] - overall) < 0.25
+
+    # (b) Self-conditioning collapses; cross-conditioning barely moves.
+    self_drop = cond["P(A)"] - cond["P(A+1|!A)"]
+    cross_drop = abs(cond["P(B)"] - cond["P(B+1|!A)"])
+    assert self_drop > 0.15
+    assert cross_drop < 0.15
+    assert cond["P(B+1|!B)"] < cond["P(B)"]

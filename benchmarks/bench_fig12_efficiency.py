@@ -1,0 +1,45 @@
+"""Figure 12: efficiency of medium usage.
+
+Paper shape: upstream, ViFi is markedly more efficient than BRR
+(upstream relays ride the backplane and burst-avoiding relays save
+retransmissions) and close to the PerfectRelay oracle; downstream, the
+three protocols are comparable, with BRR allowed a slight edge since
+ViFi's relayed copies air on the vehicle-BS channel.
+"""
+
+from conftest import print_table
+
+from repro.experiments.efficiency import efficiency_comparison
+from repro.testbeds.vanlan import VanLanTestbed
+
+TRIPS = (0, 1)
+
+
+def run_experiment():
+    testbed = VanLanTestbed(seed=5)
+    return efficiency_comparison(testbed, TRIPS, seed=7)
+
+
+def test_fig12_efficiency(benchmark, save_results):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for direction in ("upstream", "downstream"):
+        for proto in ("BRR", "ViFi", "PerfectRelay"):
+            rows.append((f"{direction} {proto}",
+                         results[direction][proto]))
+    print_table("Figure 12: packets delivered per data transmission",
+                rows, headers=["efficiency"])
+    save_results("fig12_efficiency", results)
+
+    up, down = results["upstream"], results["downstream"]
+    # Upstream: ViFi > BRR, and PerfectRelay bounds ViFi from above.
+    assert up["ViFi"] > up["BRR"]
+    assert up["PerfectRelay"] >= up["ViFi"] - 0.02
+    # Downstream: BRR and PerfectRelay sit together; ViFi pays a relay
+    # tax on the air.  In the paper that tax is small (BRR only
+    # "slightly better"); our reproduction's false-positive relays are
+    # costlier (see EXPERIMENTS.md), so the bound is looser, but ViFi
+    # must stay within 2x of the others and the ordering must hold.
+    assert down["BRR"] >= down["ViFi"]
+    assert down["PerfectRelay"] >= down["ViFi"]
+    assert max(down.values()) <= min(down.values()) * 2.0

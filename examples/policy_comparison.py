@@ -1,0 +1,55 @@
+"""The Section 3 handoff study, end to end.
+
+Generates VanLAN broadcast-probe traces (every node beacons 500-byte
+packets at 10 Hz), replays all six handoff policies over them, and
+prints both aggregate delivery and uninterrupted-session metrics —
+the measurement study that motivates ViFi.
+
+Run:
+    python examples/policy_comparison.py
+"""
+
+from repro.experiments.study import policy_factories
+from repro.handoff.evaluator import evaluate_policy
+from repro.handoff.sessions import (
+    session_lengths,
+    time_weighted_median_session,
+)
+from repro.testbeds.vanlan import VanLanTestbed
+
+TRIPS = (0, 1)
+
+
+def main():
+    testbed = VanLanTestbed(seed=3)
+    print("Generating probe traces (two evaluation trips plus history "
+          "training)...")
+    training = [testbed.generate_probe_trace(8000 + i) for i in range(4)]
+    traces = [testbed.generate_probe_trace(t) for t in TRIPS]
+
+    print(f"\n{'policy':<10s} {'packets':>9s} {'median session':>15s} "
+          f"{'handoffs':>9s}")
+    for name, factory in policy_factories().items():
+        packets = 0
+        handoffs = 0
+        lengths = []
+        for trace in traces:
+            policy = factory(training if name == "History" else None)
+            outcome = evaluate_policy(trace, policy)
+            packets += outcome.packets_delivered
+            handoffs += outcome.handoff_count
+            adequate = outcome.adequate_windows(1.0, 0.5)
+            lengths.extend(session_lengths(adequate))
+        median = time_weighted_median_session(lengths)
+        print(f"{name:<10s} {packets:>9d} {median:>13.0f} s "
+              f"{handoffs:>9d}")
+
+    print(
+        "\nReading: aggregate delivery differs modestly across"
+        "\npolicies (Figure 2), but the *sessions* differ hugely"
+        "\n(Figure 3d) — the paper's case for basestation diversity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""A VoIP call from a moving vehicle (the paper's Section 5.3.2).
+
+Simulates a G.729 call (20-byte packets every 20 ms, both directions)
+during a VanLAN shuttle trip under ViFi and under BRR, and prints the
+per-3-second MoS timeline plus the uninterrupted-session summary.
+
+Run:
+    python examples/voip_drive.py
+"""
+
+import statistics
+
+from repro.apps.voip import VoipStream
+from repro.apps.workload import FlowRouter
+from repro.core.protocol import ViFiConfig
+from repro.experiments.common import WARMUP_S, vanlan_protocol
+from repro.testbeds.vanlan import VanLanTestbed
+
+
+def run_call(config, label, trip=0):
+    testbed = VanLanTestbed(seed=5)
+    sim, duration = vanlan_protocol(testbed, trip, config=config, seed=7)
+    router = FlowRouter(sim)
+    stream = VoipStream(sim, router)
+    stream.start(WARMUP_S)
+    stream.stop(duration - 2.0)
+    sim.run(until=duration)
+
+    quality = stream.window_quality()
+    sessions = stream.session_lengths()
+    print(f"\n--- {label} ---")
+    bars = "".join(
+        "#" if mos >= 3.5 else "+" if mos >= 2.0 else "." for mos, _, _
+        in quality
+    )
+    print(f"MoS timeline (3 s windows; # good, + fair, . interrupted):")
+    print(f"  {bars}")
+    print(f"mean MoS             : {stream.mean_mos():.2f}")
+    print(f"uninterrupted spells : {len(sessions)}")
+    if sessions:
+        print(f"median spell length  : "
+              f"{statistics.median(sessions):.0f} s")
+        print(f"longest spell        : {max(sessions):.0f} s")
+    return stream
+
+
+def main():
+    base = ViFiConfig()
+    print("Placing a VoIP call from the shuttle (one trip, ~3.5 min)...")
+    run_call(base, "ViFi")
+    run_call(base.brr_variant(), "BRR (hard handoff)")
+    print(
+        "\nThe paper's finding: ViFi roughly doubles the length of\n"
+        "disruption-free calling time because auxiliary basestations\n"
+        "mask the anchor's gray periods (Figure 11)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Aggregate performance across BS densities (Figure 2).
+
+"Figure 2 shows the packets delivered by the six handoff policies ...
+the independent variable in the graph is the number of BSes in the
+system.  There are eleven BSes in VanLAN, and each point in the figure
+represents the average of ten trials using randomly selected subsets of
+BSes of a given size."
+"""
+
+import numpy as np
+
+from repro.analysis.cdf import mean_confidence_interval
+from repro.handoff.evaluator import evaluate_policy
+
+__all__ = ["packets_per_day_by_density"]
+
+
+def packets_per_day_by_density(day_traces, policy_factory, subset_sizes,
+                               trials_per_size, rng,
+                               training_traces=None):
+    """Packets/day for one policy across random BS subsets of each size.
+
+    Args:
+        day_traces: the probe traces of one day (list of trips).
+        policy_factory: callable ``(training) -> HandoffPolicy``; called
+            fresh per trial so policies with state cannot leak across
+            subsets.  ``training`` is ``training_traces`` restricted to
+            the trial's subset (or ``None``).
+        subset_sizes: iterable of subset sizes to evaluate.
+        trials_per_size: random subsets drawn per size (paper: 10).
+        rng: numpy Generator for subset draws.
+        training_traces: previous-day traces for History-style policies.
+
+    Returns:
+        dict mapping size -> ``(mean_packets, ci_half_width)``.
+    """
+    if not day_traces:
+        raise ValueError("need at least one trace")
+    all_bs = list(day_traces[0].bs_ids)
+    results = {}
+    for size in subset_sizes:
+        size = int(size)
+        if size < 1 or size > len(all_bs):
+            raise ValueError(f"subset size {size} out of range")
+        totals = []
+        for _ in range(trials_per_size):
+            subset = sorted(rng.choice(all_bs, size=size, replace=False))
+            training = None
+            if training_traces is not None:
+                training = [t.subset(subset) for t in training_traces]
+            policy = policy_factory(training)
+            day_total = 0
+            for trace in day_traces:
+                outcome = evaluate_policy(trace.subset(subset), policy)
+                day_total += outcome.packets_delivered
+            totals.append(day_total)
+        results[size] = mean_confidence_interval(np.asarray(totals))
+    return results

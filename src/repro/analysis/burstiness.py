@@ -1,0 +1,50 @@
+"""Loss burstiness: the Figure 6(a) conditional-loss curve.
+
+"The figure plots the probability of losing the packet (i+k) from a BS
+to vehicle in VanLAN given that packet i was lost.  In this experiment,
+a single BS sends packets every 10 ms ... The probability of losing a
+packet immediately after a loss is much higher than the overall loss
+probability."
+"""
+
+import numpy as np
+
+__all__ = ["conditional_loss_curve", "overall_loss_probability"]
+
+
+def overall_loss_probability(losses):
+    """Unconditional loss probability of a boolean loss sequence."""
+    arr = np.asarray(losses, dtype=bool)
+    if arr.size == 0:
+        return 0.0
+    return float(arr.mean())
+
+
+def conditional_loss_curve(losses, lags):
+    """``P(loss at i+k | loss at i)`` for each lag *k*.
+
+    Args:
+        losses: boolean sequence, True = packet lost.
+        lags: iterable of positive integer lags.
+
+    Returns:
+        dict mapping lag -> conditional probability (``nan`` when no
+        loss events exist at that lag's horizon).
+    """
+    arr = np.asarray(losses, dtype=bool)
+    curve = {}
+    for k in lags:
+        k = int(k)
+        if k <= 0:
+            raise ValueError("lags must be positive")
+        if arr.size <= k:
+            curve[k] = float("nan")
+            continue
+        base = arr[:-k]
+        ahead = arr[k:]
+        conditioning = base.sum()
+        if conditioning == 0:
+            curve[k] = float("nan")
+        else:
+            curve[k] = float(ahead[base].mean())
+    return curve

@@ -1,0 +1,55 @@
+"""Two-BS conditional reception probabilities (Figure 6b).
+
+"P(A) and P(B) are the unconditional downstream packet reception
+probabilities from BSes A and B.  P(A_{i+1} | !A_i) is the conditional
+reception probability of receiving the (i+1)-th packet from A given
+that the i-th packet from A was lost ... after a loss from a BS, the
+reception probability of the next packet from it is very low.  But the
+second BS's probability of delivering the next packet is only slightly
+lower than its unconditional probability."
+
+This is the paper's evidence that burst losses are *path dependent*
+(multipath fading on one link) rather than receiver dependent — the
+property that makes macrodiversity work.
+"""
+
+import numpy as np
+
+__all__ = ["two_bs_conditionals"]
+
+
+def _conditional(target_next, condition_now):
+    """Mean of ``target_next`` where ``condition_now`` holds."""
+    if condition_now.sum() == 0:
+        return float("nan")
+    return float(target_next[condition_now].mean())
+
+
+def two_bs_conditionals(recv_a, recv_b):
+    """The six probabilities of Figure 6(b).
+
+    Args:
+        recv_a / recv_b: boolean reception sequences from BSes A and B,
+            aligned in time (packets interleaved as in the paper's
+            20 ms experiment).
+
+    Returns:
+        dict with keys ``P(A)``, ``P(A+1|!A)``, ``P(B+1|!A)``,
+        ``P(B)``, ``P(B+1|!B)``, ``P(A+1|!B)``.
+    """
+    a = np.asarray(recv_a, dtype=bool)
+    b = np.asarray(recv_b, dtype=bool)
+    if a.shape != b.shape:
+        raise ValueError("reception sequences must be the same length")
+    if a.size < 2:
+        raise ValueError("need at least two packets")
+    lost_a = ~a[:-1]
+    lost_b = ~b[:-1]
+    return {
+        "P(A)": float(a.mean()),
+        "P(A+1|!A)": _conditional(a[1:], lost_a),
+        "P(B+1|!A)": _conditional(b[1:], lost_a),
+        "P(B)": float(b.mean()),
+        "P(B+1|!B)": _conditional(b[1:], lost_b),
+        "P(A+1|!B)": _conditional(a[1:], lost_b),
+    }

@@ -1,0 +1,40 @@
+"""Application models (Section 5.3): VoIP and short TCP transfers.
+
+* :mod:`repro.apps.mos` — the Cole-Rosenbluth R-factor / Mean Opinion
+  Score model the paper uses to judge VoIP quality, plus interruption
+  detection (MoS < 2 sustained for three seconds).
+* :mod:`repro.apps.voip` — a G.729 voice stream (20-byte packets every
+  20 ms, both directions) driven over a protocol run, with the paper's
+  delay budget.
+* :mod:`repro.apps.tcp` — a compact TCP implementation (slow start,
+  AIMD, RTO, fast retransmit) used for repeated 10 KB transfers with a
+  ten-second no-progress abort, plus session accounting.
+* :mod:`repro.apps.workload` — flow routing over a
+  :class:`~repro.core.protocol.ViFiSimulation` and the CBR probe
+  workload used for link-layer experiments.
+"""
+
+from repro.apps.mos import (
+    MosConfig,
+    interruption_windows,
+    mos_from_r,
+    r_factor,
+    voip_sessions,
+)
+from repro.apps.tcp import TcpConfig, TcpWorkload
+from repro.apps.voip import VoipConfig, VoipStream
+from repro.apps.workload import CbrWorkload, FlowRouter
+
+__all__ = [
+    "CbrWorkload",
+    "FlowRouter",
+    "MosConfig",
+    "TcpConfig",
+    "TcpWorkload",
+    "VoipConfig",
+    "VoipStream",
+    "interruption_windows",
+    "mos_from_r",
+    "r_factor",
+    "voip_sessions",
+]

@@ -1,0 +1,141 @@
+"""A G.729 VoIP stream over a protocol run (Section 5.3.2).
+
+"Per the codec, we generate 20-byte packets every 20 ms" in both
+directions.  Quality is judged per three-second window from the pooled
+loss fraction (network losses plus late arrivals beyond the 52 ms
+wireless budget) and the mouth-to-ear delay, via the R-factor model in
+:mod:`repro.apps.mos`.
+"""
+
+import math
+
+from repro.apps.mos import MosConfig, mos_score, voip_sessions
+from repro.apps.workload import FlowRouter
+
+__all__ = ["VoipConfig", "VoipStream"]
+
+
+class VoipConfig:
+    """Stream parameters (paper defaults)."""
+
+    def __init__(self, packet_interval_s=0.02, packet_size_bytes=20,
+                 mos=None):
+        self.packet_interval_s = float(packet_interval_s)
+        self.packet_size_bytes = int(packet_size_bytes)
+        self.mos = mos or MosConfig()
+
+
+class VoipStream:
+    """Bidirectional voice stream with per-window MoS accounting.
+
+    Args:
+        protocol: the ViFiSimulation to ride on.
+        router: the shared :class:`FlowRouter`.
+        config: a :class:`VoipConfig`.
+        flow_base: uses ``flow_base`` (upstream leg) and
+            ``flow_base + 1`` (downstream leg).
+    """
+
+    def __init__(self, protocol, router, config=None, flow_base=20):
+        self.protocol = protocol
+        self.config = config or VoipConfig()
+        self.up_flow = flow_base
+        self.down_flow = flow_base + 1
+        self._seq = 0
+        self.sent_times = {}
+        self.up_deliveries = {}
+        self.down_deliveries = {}
+        self._started_at = None
+        self._stopped_at = None
+        router.register(self.up_flow, FlowRouter.WIRED, self._up_delivered)
+        router.register(self.down_flow, FlowRouter.VEHICLE,
+                        self._down_delivered)
+
+    # -- driving -----------------------------------------------------------
+
+    def start(self, at_time):
+        self._started_at = float(at_time)
+        self.protocol.sim.schedule_at(self._started_at, self._tick)
+
+    def stop(self, at_time):
+        self._stopped_at = float(at_time)
+
+    def _tick(self):
+        now = self.protocol.sim.now
+        if self._stopped_at is not None and now >= self._stopped_at:
+            return
+        seq = self._seq
+        self._seq += 1
+        self.sent_times[seq] = now
+        self.protocol.send_upstream(("voice-up", seq),
+                                    self.config.packet_size_bytes,
+                                    flow_id=self.up_flow, seq=seq)
+        self.protocol.send_downstream(("voice-down", seq),
+                                      self.config.packet_size_bytes,
+                                      flow_id=self.down_flow, seq=seq)
+        self.protocol.sim.schedule(self.config.packet_interval_s, self._tick)
+
+    def _up_delivered(self, packet, delivered_at):
+        self.up_deliveries.setdefault(packet.seq, delivered_at)
+
+    def _down_delivered(self, packet, delivered_at):
+        self.down_deliveries.setdefault(packet.seq, delivered_at)
+
+    # -- quality analysis -------------------------------------------------------
+
+    def window_quality(self):
+        """Per-3-second-window ``(mos, loss_fraction, delay_ms)`` tuples.
+
+        A packet is effectively lost when undelivered or when its
+        wireless one-way delay exceeds the 52 ms budget; on-time
+        packets contribute their wireless delay to the window's
+        mouth-to-ear estimate (fixed components + mean wireless delay).
+        """
+        mos_cfg = self.config.mos
+        if self._started_at is None or self._seq == 0:
+            return []
+        budget_s = mos_cfg.wireless_budget_ms / 1000.0
+        per_window = int(round(
+            mos_cfg.window_s / self.config.packet_interval_s
+        ))
+        n_windows = self._seq // per_window
+        windows = []
+        for w in range(n_windows):
+            total = 0
+            lost = 0
+            delays = []
+            for seq in range(w * per_window, (w + 1) * per_window):
+                sent = self.sent_times[seq]
+                for table in (self.up_deliveries, self.down_deliveries):
+                    total += 1
+                    arrival = table.get(seq)
+                    if arrival is None or (arrival - sent) > budget_s:
+                        lost += 1
+                    else:
+                        delays.append((arrival - sent) * 1000.0)
+            loss_fraction = lost / total if total else 1.0
+            wireless_ms = (
+                math.fsum(delays) / len(delays) if delays
+                else mos_cfg.wireless_budget_ms
+            )
+            delay_ms = mos_cfg.fixed_delay_ms + wireless_ms
+            windows.append(
+                (mos_score(delay_ms, loss_fraction), loss_fraction, delay_ms)
+            )
+        return windows
+
+    def session_lengths(self):
+        """Uninterrupted-session lengths (seconds), per the paper's rule."""
+        mos_values = [m for m, _, _ in self.window_quality()]
+        return voip_sessions(
+            mos_values,
+            window_s=self.config.mos.window_s,
+            threshold=self.config.mos.interruption_mos,
+        )
+
+    def mean_mos(self):
+        """Average of the per-window MoS scores."""
+        quality = self.window_quality()
+        if not quality:
+            return 1.0
+        return math.fsum(m for m, _, _ in quality) / len(quality)

@@ -1,0 +1,793 @@
+"""The ViFi protocol engines: vehicle and basestation nodes.
+
+This module implements the five-step protocol of Section 4.3 plus its
+supporting machinery:
+
+1. src transmits the packet P.
+2. If dst receives P, it broadcasts an ACK.
+3. If an auxiliary overhears P, but within a small window has not
+   heard an ACK, it probabilistically relays P.
+4. If dst receives relayed P and has not already sent an ACK, it
+   broadcasts an ACK.
+5. If src does not receive an ACK within a retransmission interval,
+   it retransmits P.
+
+Upstream relays ride the inter-BS backplane; downstream relays ride the
+vehicle-BS wireless channel.  A packet is considered for relaying only
+once, and relayed copies are never re-relayed.
+
+The source logic (queueing, adaptive retransmission, bitmap-ack
+processing, one-frame-at-the-interface pacing) is shared between the
+vehicle (upstream) and the anchor BS (downstream) via
+:class:`LinkSender`.
+"""
+
+import itertools
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro.net.packet import Ack, Beacon, DataPacket, Direction, FrameKind
+
+__all__ = ["BasestationNode", "LinkSender", "VehicleNode"]
+
+#: Number of recently received pkt_ids remembered per peer for
+#: de-duplication and bitmap construction.
+_RECEIVE_MEMORY = 512
+
+
+class _ReceiverState:
+    """Per-source reception memory: de-duplication and ack bitmaps."""
+
+    def __init__(self):
+        self._received = OrderedDict()
+
+    def record(self, pkt_id):
+        """Record a reception; returns True when the id is new."""
+        fresh = pkt_id not in self._received
+        self._received[pkt_id] = True
+        self._received.move_to_end(pkt_id)
+        while len(self._received) > _RECEIVE_MEMORY:
+            self._received.popitem(last=False)
+        return fresh
+
+    def missing_bitmap(self, pkt_id):
+        """ViFi's 1-byte bitmap: which of the 8 prior ids are missing."""
+        bitmap = 0
+        for k in range(8):
+            candidate = pkt_id - 1 - k
+            if candidate >= 0 and candidate not in self._received:
+                bitmap |= 1 << k
+        return bitmap
+
+
+@dataclass
+class _Pending:
+    """A packet owned by a :class:`LinkSender` awaiting acknowledgment."""
+
+    packet: DataPacket
+    enqueued_at: float
+    arrival_at: float  # when it arrived at this sender (salvage age)
+    tx_times: dict = field(default_factory=dict)
+    tx_count: int = 0
+    next_retx: float = 0.0
+    acked: bool = False
+
+
+class LinkSender:
+    """Shared source-side engine (Section 4.7 and 4.8 behaviours).
+
+    Maintains the FIFO of application packets, transmits "the earliest
+    queued packet that is ready for transmission", retransmits
+    unacknowledged packets when the adaptive timer expires (bounded by
+    ``config.max_retx``), and processes bitmap acknowledgments.
+
+    Args:
+        node: owning node (provides ``node_id``, ``ctx``,
+            ``can_send_data`` and ``current_aux_snapshot``).
+        direction: direction of the packets this sender originates.
+        dst_provider: callable returning the current destination node
+            id (the vehicle's anchor changes over time) or ``None``.
+    """
+
+    def __init__(self, node, direction, dst_provider):
+        self.node = node
+        self.ctx = node.ctx
+        self.direction = direction
+        self.dst_provider = dst_provider
+        self._pkt_ids = itertools.count()
+        self.queue = deque()
+        self.pending = {}
+        # Unacked packets the link layer stopped retransmitting remain
+        # eligible for salvaging (Section 4.5 transfers "any
+        # unacknowledged packets ... received within a time threshold",
+        # whether or not their retransmission budget is spent).
+        self._retired = {}
+        self._retx_event = None
+        self.enqueued = 0
+        self.delivered_acks = 0
+        self.given_up = 0
+
+    # -- queueing ------------------------------------------------------
+
+    def enqueue(self, payload, size_bytes, flow_id=0, seq=0, created_at=None,
+                salvaged=False):
+        """Accept one application packet; returns its pkt_id."""
+        now = self.ctx.sim.now
+        pkt_id = next(self._pkt_ids)
+        packet = DataPacket(
+            pkt_id=pkt_id,
+            src=self.node.node_id,
+            dst=-1,  # resolved at transmission time
+            direction=self.direction,
+            size_bytes=size_bytes,
+            flow_id=flow_id,
+            seq=seq,
+            created_at=now if created_at is None else created_at,
+            salvaged=salvaged,
+            payload=payload,
+        )
+        self.pending[pkt_id] = _Pending(
+            packet=packet, enqueued_at=now, arrival_at=now
+        )
+        self.queue.append(pkt_id)
+        self.enqueued += 1
+        self.pump()
+        return pkt_id
+
+    @property
+    def queued_count(self):
+        return len(self.pending)
+
+    # -- transmission --------------------------------------------------
+
+    def pump(self):
+        """Transmit the earliest ready packet if the interface is free."""
+        if not self.node.can_send_data():
+            return
+        medium = self.ctx.medium
+        if medium.queue_length(self.node.node_id) > 0:
+            return
+        now = self.ctx.sim.now
+        config = self.ctx.config
+        chosen = None
+        for pkt_id in list(self.queue):
+            pend = self.pending.get(pkt_id)
+            if pend is None or pend.acked:
+                self.queue.remove(pkt_id)
+                continue
+            if pend.tx_count == 0:
+                chosen = pend
+                break
+            if pend.next_retx <= now:
+                if pend.tx_count >= 1 + config.max_retx:
+                    self._give_up(pkt_id)
+                    continue
+                chosen = pend
+                break
+        if chosen is not None:
+            self._transmit(chosen)
+        self._arm_retx_timer()
+
+    def _transmit(self, pend):
+        now = self.ctx.sim.now
+        dst = self.dst_provider()
+        if dst is None:
+            return
+        tx_id = self.ctx.next_tx_id()
+        packet = pend.packet
+        packet.dst = dst
+        packet.tx_id = tx_id
+        packet.is_retransmission = pend.tx_count > 0
+        pend.tx_times[tx_id] = now
+        pend.tx_count += 1
+        pend.next_retx = now + self.node.retx_timer.timeout()
+        aux = self.node.current_aux_snapshot()
+        self.ctx.stats.on_source_tx(
+            tx_id=tx_id,
+            pkt_key=(self.node.node_id, packet.pkt_id),
+            direction=self.direction,
+            time=now,
+            src=self.node.node_id,
+            dst=dst,
+            aux_designated=aux,
+        )
+        record = self.ctx.stats.packet_record(
+            (self.node.node_id, packet.pkt_id), self.direction,
+            packet.created_at, packet.size_bytes,
+        )
+        record.salvaged = record.salvaged or packet.salvaged
+        unicast_to = dst if self.ctx.config.unicast_data else None
+        self.ctx.medium.send(self.node.node_id, packet,
+                             unicast_to=unicast_to)
+
+    def _give_up(self, pkt_id):
+        pend = self.pending.pop(pkt_id, None)
+        if pkt_id in self.queue:
+            self.queue.remove(pkt_id)
+        if pend is not None:
+            self.given_up += 1
+            self._retired[pkt_id] = pend
+            self.ctx.stats.on_give_up((self.node.node_id, pkt_id))
+
+    def _arm_retx_timer(self):
+        """Keep one timer armed at the earliest retransmission time."""
+        if self._retx_event is not None and self._retx_event.active:
+            self._retx_event.cancel()
+        times = [p.next_retx for p in self.pending.values()
+                 if p.tx_count > 0 and not p.acked]
+        if not times:
+            return
+        wake = max(min(times), self.ctx.sim.now)
+        self._retx_event = self.ctx.sim.schedule_at(wake, self.pump)
+
+    # -- acknowledgment processing --------------------------------------
+
+    def on_ack(self, ack):
+        """Process an ack addressed to this sender."""
+        now = self.ctx.sim.now
+        pend = self.pending.get(ack.pkt_id)
+        if pend is not None and not pend.acked:
+            tx_time = pend.tx_times.get(ack.tx_id)
+            if tx_time is not None:
+                self.node.retx_timer.add_sample(now - tx_time)
+            self._complete(ack.pkt_id)
+        # Bitmap: ids in the 8-slot window NOT flagged missing were
+        # received; retire them without a delay sample.
+        missing = set(ack.missing_ids())
+        for k in range(8):
+            candidate = ack.pkt_id - 1 - k
+            if candidate < 0 or candidate in missing:
+                continue
+            earlier = self.pending.get(candidate)
+            if earlier is not None and not earlier.acked \
+                    and earlier.tx_count > 0:
+                self._complete(candidate)
+        self.pump()
+
+    def _complete(self, pkt_id):
+        pend = self.pending.pop(pkt_id, None)
+        self._retired.pop(pkt_id, None)
+        if pkt_id in self.queue:
+            self.queue.remove(pkt_id)
+        if pend is not None:
+            self.delivered_acks += 1
+            self.ctx.stats.on_src_ack((self.node.node_id, pkt_id))
+
+    # -- salvaging support ----------------------------------------------
+
+    def unacked_within(self, age_s):
+        """Unacked packets that arrived here within *age_s* seconds.
+
+        Used by the previous anchor to answer a salvage request: "the
+        old anchor transfers any unacknowledged packets that were
+        received from the Internet within a certain time threshold"
+        (Section 4.5).  Covers both packets still in the transmit queue
+        and packets whose retransmission budget is spent.  The packets
+        are removed from this sender.
+        """
+        now = self.ctx.sim.now
+        harvest = []
+        for pkt_id in list(self.queue):
+            pend = self.pending.get(pkt_id)
+            if pend is None or pend.acked:
+                continue
+            if now - pend.arrival_at <= age_s:
+                harvest.append(pend.packet)
+                self.pending.pop(pkt_id, None)
+                self.queue.remove(pkt_id)
+        for pkt_id, pend in list(self._retired.items()):
+            if now - pend.arrival_at <= age_s:
+                harvest.append(pend.packet)
+            del self._retired[pkt_id]
+        harvest.sort(key=lambda p: p.pkt_id)
+        return harvest
+
+
+@dataclass
+class _SalvageRequest:
+    requester: int
+    vehicle: int
+
+
+@dataclass
+class _SalvagePayload:
+    packets: list
+
+
+class _NodeBase:
+    """Shared node behaviour: beaconing and probability estimation."""
+
+    def __init__(self, node_id, ctx):
+        self.node_id = node_id
+        self.ctx = ctx
+        config = ctx.config
+        self.estimator = ctx.make_estimator(node_id)
+        self.retx_timer = ctx.make_retx_timer()
+        self._beacon_rng = ctx.rngs.stream("beacon-phase", node_id)
+        self._phase = float(
+            self._beacon_rng.uniform(0.0, config.beacon_interval)
+        )
+
+    def start(self):
+        """Arm the beacon and per-second estimator timers."""
+        self.ctx.sim.schedule(self._phase, self._beacon_tick)
+        self.ctx.sim.schedule(1.0 + self._phase, self._second_tick)
+
+    # -- timers ----------------------------------------------------------
+
+    def _beacon_tick(self):
+        self._send_beacon()
+        interval = self.ctx.config.beacon_interval
+        jitter = self._beacon_rng.uniform(-0.05, 0.05) * interval
+        self.ctx.sim.schedule(max(interval + jitter, 1e-4),
+                              self._beacon_tick)
+
+    def _second_tick(self):
+        self.estimator.tick_second(self.ctx.sim.now)
+        self.on_second()
+        self.ctx.sim.schedule(1.0, self._second_tick)
+
+    def on_second(self):
+        """Per-second hook for subclasses."""
+
+    def _send_beacon(self):
+        incoming, learned = self.estimator.beacon_reports(self.ctx.sim.now)
+        beacon = Beacon(
+            sender=self.node_id,
+            sent_at=self.ctx.sim.now,
+            incoming=incoming,
+            learned=learned,
+        )
+        self.decorate_beacon(beacon)
+        self.ctx.medium.send(self.node_id, beacon)
+
+    def decorate_beacon(self, beacon):
+        """Subclass hook to add anchor/auxiliary designations."""
+
+    # -- reception dispatch ----------------------------------------------
+
+    def on_receive(self, frame, transmitter_id):
+        if frame.kind is FrameKind.BEACON:
+            self.estimator.on_beacon(frame, self.ctx.sim.now)
+            self.on_beacon(frame)
+        elif frame.kind is FrameKind.DATA:
+            self.on_data(frame)
+        elif frame.kind is FrameKind.ACK:
+            self.on_ack_frame(frame)
+
+    def on_beacon(self, beacon):
+        """Subclass hook (estimator ingestion already done)."""
+
+    def on_data(self, packet):
+        raise NotImplementedError
+
+    def on_ack_frame(self, ack):
+        raise NotImplementedError
+
+    def on_transmit_complete(self, frame):
+        """Medium callback: our frame finished airing."""
+
+    # -- common helpers ----------------------------------------------------
+
+    def can_send_data(self):
+        raise NotImplementedError
+
+    def current_aux_snapshot(self):
+        raise NotImplementedError
+
+    def _send_ack(self, packet, receiver_state):
+        ack = Ack(
+            pkt_id=packet.pkt_id,
+            acker=self.node_id,
+            for_src=packet.src,
+            missing_bitmap=receiver_state.missing_bitmap(packet.pkt_id),
+            tx_id=packet.tx_id,
+            in_response_to_relay=packet.relayed_by is not None,
+        )
+        self.ctx.medium.send(self.node_id, ack, priority=True)
+
+
+class VehicleNode(_NodeBase):
+    """The mobile client: anchor selection, upstream source, downstream sink.
+
+    The vehicle selects its anchor with BRR over the exponentially
+    averaged beacon reception ratios (Section 4.3), designates every
+    recently heard BS as an auxiliary, and announces anchor, auxiliary
+    set, and previous anchor in its beacons.
+    """
+
+    def __init__(self, node_id, ctx):
+        super().__init__(node_id, ctx)
+        self.anchor_id = None
+        self.prev_anchor_id = None
+        self.aux_ids = ()
+        self.upstream = LinkSender(
+            self, Direction.UPSTREAM, dst_provider=lambda: self.anchor_id
+        )
+        self._receiver_states = {}
+        self.delivered_downstream = []
+        self.downstream_sink = None
+
+    # -- designations -----------------------------------------------------
+
+    def on_second(self):
+        self._update_designations()
+
+    def _update_designations(self):
+        config = self.ctx.config
+        now = self.ctx.sim.now
+        estimates = {
+            bs: p for bs, p in self.estimator.incoming_estimates().items()
+            if bs in self.ctx.bs_ids
+        }
+        recent = [
+            bs for bs in self.estimator.peers_heard_within(
+                now, config.aux_recent_s)
+            if bs in self.ctx.bs_ids and bs != self.anchor_id
+        ]
+        self.aux_ids = tuple(sorted(recent))
+        if not estimates:
+            return
+        best_bs, best_p = max(
+            estimates.items(), key=lambda kv: (kv[1], -kv[0])
+        )
+        current_p = estimates.get(self.anchor_id, 0.0)
+        should_switch = (
+            self.anchor_id is None
+            or current_p < config.min_anchor_quality
+            or best_p > current_p * (1.0 + config.anchor_hysteresis)
+        )
+        if should_switch and best_bs != self.anchor_id \
+                and best_p >= config.min_anchor_quality:
+            if self.anchor_id is not None:
+                self.prev_anchor_id = self.anchor_id
+                self.ctx.stats.on_anchor_change()
+            self.anchor_id = best_bs
+            self.ctx.on_anchor_change(best_bs)
+            self.upstream.pump()
+
+    def decorate_beacon(self, beacon):
+        beacon.anchor_id = self.anchor_id
+        beacon.aux_ids = self.aux_ids
+        beacon.prev_anchor_id = self.prev_anchor_id
+
+    def can_send_data(self):
+        return self.anchor_id is not None
+
+    def current_aux_snapshot(self):
+        return tuple(b for b in self.aux_ids if b != self.anchor_id)
+
+    # -- app API ------------------------------------------------------------
+
+    def send_upstream(self, payload, size_bytes, flow_id=0, seq=0):
+        return self.upstream.enqueue(payload, size_bytes, flow_id=flow_id,
+                                     seq=seq)
+
+    # -- reception ------------------------------------------------------------
+
+    def on_data(self, packet):
+        if packet.dst != self.node_id:
+            return  # the vehicle never relays
+        state = self._receiver_states.setdefault(packet.src,
+                                                 _ReceiverState())
+        fresh = state.record(packet.pkt_id)
+        self.ctx.stats.on_dst_receive(
+            packet.tx_id, (packet.src, packet.pkt_id), self.ctx.sim.now,
+            via_relay=packet.relayed_by is not None,
+        )
+        self._send_ack(packet, state)
+        if fresh:
+            self.delivered_downstream.append(
+                (packet.seq, packet.created_at, self.ctx.sim.now)
+            )
+            if self.downstream_sink is not None:
+                self.downstream_sink(packet, self.ctx.sim.now)
+
+    def on_ack_frame(self, ack):
+        if ack.for_src == self.node_id:
+            self.upstream.on_ack(ack)
+
+    def on_transmit_complete(self, frame):
+        # Any of our frames leaving the interface (data, ack or beacon)
+        # frees it for the next queued data packet.
+        self.upstream.pump()
+
+
+class BasestationNode(_NodeBase):
+    """A basestation: anchor duties, auxiliary relaying, salvaging."""
+
+    def __init__(self, node_id, ctx):
+        super().__init__(node_id, ctx)
+        self.is_anchor = False
+        self.known_anchor = None
+        self.known_aux = ()
+        self.known_prev_anchor = None
+        self.vehicle_id = None
+        self.last_vehicle_beacon = None
+        self.downstream = LinkSender(
+            self, Direction.DOWNSTREAM, dst_provider=lambda: self.vehicle_id
+        )
+        self._receiver_states = {}
+        self._relay_store = {}
+        self._relay_considered = {}
+        self._relay_suppressed = {}
+        self._relay_rng = ctx.rngs.stream("relay-coin", node_id)
+        # The "small window" of protocol step 3 is adaptive: the BS
+        # tracks the gap between overhearing a data packet and
+        # overhearing its ack, and waits out the bulk of that
+        # distribution before deciding.  Under a saturated medium acks
+        # air tens of milliseconds late; a fixed short window would
+        # relay packets whose acks are merely queued (pure false
+        # positives), while a fixed long window would delay relays that
+        # interactive traffic needs.
+        self._ack_gap = ctx.make_relay_window_timer()
+        # First-overhear times for *all* recently overheard data keys,
+        # kept independently of the relay store so ack-gap samples are
+        # not survivorship-biased toward acks that beat the current
+        # window.
+        self._data_heard_at = {}
+        self.forwarded_upstream = []
+
+    # -- designation tracking (from vehicle beacons) -------------------------
+
+    def on_beacon(self, beacon):
+        if beacon.anchor_id is None and not beacon.aux_ids:
+            return  # a BS beacon
+        self.vehicle_id = beacon.sender
+        self.known_anchor = beacon.anchor_id
+        self.known_aux = tuple(beacon.aux_ids)
+        self.known_prev_anchor = beacon.prev_anchor_id
+        self.last_vehicle_beacon = self.ctx.sim.now
+        if beacon.anchor_id == self.node_id and not self.is_anchor:
+            self.is_anchor = True
+            self.ctx.on_bs_became_anchor(self.node_id)
+            if (self.ctx.config.salvage_enabled
+                    and beacon.prev_anchor_id is not None
+                    and beacon.prev_anchor_id != self.node_id):
+                self._request_salvage(beacon.prev_anchor_id)
+            self.downstream.pump()
+        elif beacon.anchor_id != self.node_id and self.is_anchor:
+            self.is_anchor = False
+
+    def on_second(self):
+        # Anchor belief decays if the vehicle has gone silent.
+        config = self.ctx.config
+        if self.is_anchor and self.last_vehicle_beacon is not None:
+            silent = self.ctx.sim.now - self.last_vehicle_beacon
+            if silent > config.anchor_belief_timeout:
+                self.is_anchor = False
+        self._prune_relay_memory()
+
+    def can_send_data(self):
+        return self.is_anchor and self.vehicle_id is not None
+
+    def current_aux_snapshot(self):
+        return tuple(b for b in self.known_aux if b != self.node_id)
+
+    def is_designated_aux(self):
+        return self.node_id in self.known_aux and not self.is_anchor
+
+    # -- internet-facing API ---------------------------------------------------
+
+    def on_internet_packet(self, payload, size_bytes, flow_id=0, seq=0,
+                           created_at=None, salvaged=False):
+        """Accept a downstream packet from the wired side."""
+        return self.downstream.enqueue(
+            payload, size_bytes, flow_id=flow_id, seq=seq,
+            created_at=created_at, salvaged=salvaged,
+        )
+
+    # -- reception ---------------------------------------------------------------
+
+    def on_data(self, packet):
+        if packet.dst == self.node_id:
+            self._receive_as_destination(packet)
+        else:
+            self._overhear_as_auxiliary(packet)
+
+    def on_backplane_data(self, packet):
+        """An upstream relay arriving over the wired backplane."""
+        if packet.dst != self.node_id:
+            return
+        self._receive_as_destination(packet)
+
+    def _receive_as_destination(self, packet):
+        state = self._receiver_states.setdefault(packet.src,
+                                                 _ReceiverState())
+        fresh = state.record(packet.pkt_id)
+        self.ctx.stats.on_dst_receive(
+            packet.tx_id, (packet.src, packet.pkt_id), self.ctx.sim.now,
+            via_relay=packet.relayed_by is not None,
+        )
+        self._send_ack(packet, state)
+        if fresh:
+            self.forwarded_upstream.append(
+                (packet.seq, packet.created_at, self.ctx.sim.now)
+            )
+            self.ctx.gateway_deliver_upstream(packet)
+
+    # -- auxiliary relaying (Section 4.3 step 3) ------------------------------
+
+    def _overhear_as_auxiliary(self, packet):
+        now = self.ctx.sim.now
+        key = (packet.src, packet.pkt_id)
+        # Ack-gap sampling measures from the *latest* overheard copy
+        # (original, retransmission or relay): every copy triggers a
+        # fresh ack at the destination, and the window must model
+        # per-copy ack latency, not retransmission round trips.
+        self._data_heard_at[key] = now
+        if packet.relayed_by is not None:
+            return  # never relay a relay
+        if self.node_id in self.known_aux:
+            self.ctx.stats.on_aux_overhear(packet.tx_id, self.node_id)
+        if not self.is_designated_aux():
+            return
+        vehicle, anchor = self.vehicle_id, self.known_anchor
+        if anchor is None or vehicle is None:
+            return
+        if {packet.src, packet.dst} != {vehicle, anchor}:
+            return  # not part of the vehicle's current conversation
+        # "A packet is considered for relaying only once" — per
+        # overheard transmission copy: a source retransmission is a
+        # fresh copy and earns a fresh decision, but the same copy
+        # never re-enters the pipeline.  Packets whose acks were
+        # overheard stay suppressed whatever copy arrives.
+        if key in self._relay_suppressed:
+            return
+        copy_key = (packet.src, packet.pkt_id, packet.tx_id)
+        if copy_key in self._relay_considered:
+            return
+        if key in self._relay_store:
+            # A decision is already pending; refresh to the newest copy
+            # so the relay (and its attribution) reflect the latest
+            # transmission.
+            _, heard_at = self._relay_store[key]
+            self._relay_store[key] = (packet, heard_at)
+            return
+        config = self.ctx.config
+        delay = self._ack_window() + float(
+            self._relay_rng.uniform(0.0, config.relay_timer_interval)
+        )
+        self._relay_store[key] = (packet, now)
+        self.ctx.sim.schedule(delay, self._relay_decision, key)
+
+    def _ack_window(self):
+        """Current ack-wait window: clamped multiple of the median gap."""
+        config = self.ctx.config
+        window = self._ack_gap.timeout() * config.relay_window_multiplier
+        return min(max(window, config.relay_min_age),
+                   config.relay_max_window)
+
+    def on_ack_frame(self, ack):
+        key = (ack.for_src, ack.pkt_id)
+        if ack.for_src == self.node_id:
+            self.downstream.on_ack(ack)
+            return
+        # Overheard ack: suppress relaying of this packet and of any
+        # earlier packet the bitmap reports as received.
+        now = self.ctx.sim.now
+        heard_at = self._data_heard_at.pop(key, None)
+        if heard_at is not None:
+            self._ack_gap.add_sample(now - heard_at)
+        if heard_at is not None or self.node_id in self.known_aux:
+            self.ctx.stats.on_aux_heard_ack(key, self.node_id)
+        self._suppress(key, now)
+        missing = set(ack.missing_ids())
+        for k in range(8):
+            candidate = ack.pkt_id - 1 - k
+            if candidate >= 0 and candidate not in missing:
+                self._suppress((ack.for_src, candidate), now)
+
+    def _suppress(self, key, now):
+        self._relay_suppressed[key] = now
+        self._relay_store.pop(key, None)
+
+    def _relay_decision(self, key):
+        """Timer fired: decide once whether to relay the stored packet."""
+        entry = self._relay_store.get(key)
+        if entry is None:
+            return  # suppressed by an overheard ack
+        packet, heard_at = entry
+        now = self.ctx.sim.now
+        config = self.ctx.config
+        # The adaptive window may have grown since this decision was
+        # scheduled (the medium got busier); keep waiting until the
+        # packet's age covers it, bounded by the staleness horizon.
+        window = self._ack_window()
+        age = now - heard_at
+        if age < window and age < config.relay_max_age:
+            self.ctx.sim.schedule(
+                min(window - age, config.relay_max_age - age) + 1e-4,
+                self._relay_decision, key,
+            )
+            return
+        del self._relay_store[key]
+        self._relay_considered[
+            (packet.src, packet.pkt_id, packet.tx_id)
+        ] = now
+        if not self.is_designated_aux():
+            return
+        ctx = self.ctx
+        aux_ids = self.known_aux
+        strategy = ctx.relay_strategy
+        from repro.core.relaying import RelayContext
+        probability = strategy.relay_probability(RelayContext(
+            self_id=self.node_id,
+            aux_ids=tuple(a for a in aux_ids
+                          if a not in (packet.src, packet.dst)),
+            src=packet.src,
+            dst=packet.dst,
+            p=self.estimator.probability_lookup(now),
+        ))
+        relayed = bool(self._relay_rng.random() < probability)
+        ctx.stats.on_relay_decision(
+            key, self.node_id, probability, relayed,
+            trigger_tx_id=packet.tx_id,
+        )
+        if not relayed:
+            return
+        copy = packet.relay_copy(self.node_id)
+        if packet.direction is Direction.UPSTREAM:
+            dst_node = ctx.bs_node(packet.dst)
+            if dst_node is not None:
+                ctx.backplane.send(
+                    self.node_id, packet.dst, copy, copy.size_bytes,
+                    dst_node.on_backplane_data, category="relay",
+                )
+        else:
+            ctx.medium.send(self.node_id, copy)
+
+    def _prune_relay_memory(self, horizon_s=30.0):
+        now = self.ctx.sim.now
+        for table in (self._relay_considered, self._relay_suppressed):
+            stale = [k for k, ts in table.items() if now - ts > horizon_s]
+            for k in stale:
+                del table[k]
+        stale = [k for k, ts in self._data_heard_at.items()
+                 if now - ts > 5.0]
+        for k in stale:
+            del self._data_heard_at[k]
+
+    # -- salvaging (Section 4.5) ------------------------------------------------
+
+    def _request_salvage(self, prev_anchor_id):
+        prev_node = self.ctx.bs_node(prev_anchor_id)
+        if prev_node is None:
+            return
+        request = _SalvageRequest(requester=self.node_id,
+                                  vehicle=self.vehicle_id)
+        self.ctx.backplane.send(
+            self.node_id, prev_anchor_id, request, 64,
+            prev_node.on_salvage_request, category="salvage-request",
+        )
+
+    def on_salvage_request(self, request):
+        """Previous-anchor side: hand over recent unacked packets."""
+        packets = self.downstream.unacked_within(
+            self.ctx.config.salvage_age_s
+        )
+        self.ctx.stats.on_salvage(len(packets))
+        if not packets:
+            return
+        requester_node = self.ctx.bs_node(request.requester)
+        if requester_node is None:
+            return
+        total = sum(p.size_bytes for p in packets)
+        self.ctx.backplane.send(
+            self.node_id, request.requester, _SalvagePayload(packets),
+            total, requester_node.on_salvage_payload, category="salvage",
+        )
+
+    def on_salvage_payload(self, payload):
+        """New-anchor side: treat salvaged packets as fresh arrivals."""
+        for packet in payload.packets:
+            self.on_internet_packet(
+                packet.payload, packet.size_bytes,
+                flow_id=packet.flow_id, seq=packet.seq,
+                created_at=packet.created_at, salvaged=True,
+            )
+
+    def on_transmit_complete(self, frame):
+        # See VehicleNode.on_transmit_complete: the interface is free
+        # again whatever kind of frame just finished airing.
+        self.downstream.pump()

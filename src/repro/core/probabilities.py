@@ -1,0 +1,155 @@
+"""Reception-probability estimation and dissemination (Section 4.6).
+
+"A ViFi node estimates the reception probability from another node to
+itself using the number of beacons received in a given time interval
+divided by the number that must have been sent.  Incoming reception
+probabilities are maintained as exponential averages (alpha = 0.5) over
+per-second beacon reception ratio.  In their beacons, nodes embed the
+current incoming reception probability from all nodes that they heard
+from in the last interval.  They also embed the packet reception
+probability from them to other nodes, which they learn from the beacons
+of those other nodes."
+
+So a single beacon from node X teaches a listener both ``p(* -> X)``
+(X's first-hand incoming estimates) and ``p(X -> *)`` (X's second-hand
+knowledge of its outgoing quality).  An auxiliary therefore learns every
+probability the relay computation needs purely by listening, with no
+extra coordination traffic.
+"""
+
+__all__ = ["ReceptionEstimator"]
+
+
+class ReceptionEstimator:
+    """Per-node estimator and dissemination table for ``p(a -> b)``.
+
+    Args:
+        node_id: owning node.
+        beacons_per_second: nominal beacon rate of every node (the
+            "number that must have been sent" per second).
+        alpha: exponential averaging factor (paper: 0.5).
+        stale_s: age after which a table entry is distrusted.
+        forget_below: incoming averages below this are dropped, so BSes
+            left behind stop being considered.
+    """
+
+    def __init__(self, node_id, beacons_per_second=10, alpha=0.5,
+                 stale_s=5.0, forget_below=0.01):
+        self.node_id = node_id
+        self.beacons_per_second = int(beacons_per_second)
+        self.alpha = float(alpha)
+        self.stale_s = float(stale_s)
+        self.forget_below = float(forget_below)
+        self._heard_this_second = {}
+        self._incoming = {}
+        self._last_heard = {}
+        self._table = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def on_beacon(self, beacon, now):
+        """Digest one received beacon: count it and merge its reports."""
+        sender = beacon.sender
+        self._heard_this_second[sender] = (
+            self._heard_this_second.get(sender, 0) + 1
+        )
+        self._last_heard[sender] = now
+        # Reports about this node itself are kept too: the sender's
+        # ``incoming[self]`` is p(self -> sender), i.e. this node's own
+        # *outgoing* quality, which it cannot measure first-hand and
+        # which the relay computation needs (p(Bx -> dst)).
+        for peer, prob in beacon.incoming.items():
+            self._table[(peer, sender)] = (float(prob), now)
+        for peer, prob in beacon.learned.items():
+            self._table[(sender, peer)] = (float(prob), now)
+
+    def tick_second(self, now):
+        """Fold the elapsed second into the exponential averages.
+
+        Every known peer contributes a sample: its beacon reception
+        ratio this second, zero if silent.  Peers whose average decays
+        below ``forget_below`` are forgotten.
+        """
+        peers = set(self._incoming) | set(self._heard_this_second)
+        for peer in peers:
+            ratio = min(
+                self._heard_this_second.get(peer, 0)
+                / self.beacons_per_second,
+                1.0,
+            )
+            previous = self._incoming.get(peer, 0.0)
+            self._incoming[peer] = (
+                self.alpha * ratio + (1 - self.alpha) * previous
+            )
+        self._heard_this_second = {}
+        for peer in [p for p, v in self._incoming.items()
+                     if v < self.forget_below]:
+            del self._incoming[peer]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def incoming_probability(self, peer):
+        """First-hand estimate of ``p(peer -> self)``."""
+        return self._incoming.get(peer, 0.0)
+
+    def incoming_estimates(self):
+        """Snapshot of all first-hand incoming estimates."""
+        return dict(self._incoming)
+
+    def heard_recently(self, peer, now, within_s):
+        """Was a beacon from *peer* heard within the last *within_s*?"""
+        last = self._last_heard.get(peer)
+        return last is not None and (now - last) <= within_s
+
+    def peers_heard_within(self, now, within_s):
+        """All peers whose beacons were heard within *within_s*."""
+        return [
+            peer for peer, last in self._last_heard.items()
+            if (now - last) <= within_s
+        ]
+
+    def probability(self, a, b, now):
+        """Best known estimate of ``p(a -> b)``; 0 when unknown/stale.
+
+        First-hand knowledge (``b`` is this node) wins; otherwise the
+        dissemination table is consulted, subject to freshness.
+        """
+        if a == b:
+            return 1.0
+        if b == self.node_id:
+            return self._incoming.get(a, 0.0)
+        entry = self._table.get((a, b))
+        if entry is None:
+            return 0.0
+        prob, ts = entry
+        if now - ts > self.stale_s:
+            return 0.0
+        return prob
+
+    def probability_lookup(self, now):
+        """A ``(a, b) -> p`` callable bound to the current time."""
+        def lookup(a, b):
+            return self.probability(a, b, now)
+        return lookup
+
+    # ------------------------------------------------------------------
+    # Beacon payload construction
+    # ------------------------------------------------------------------
+
+    def beacon_reports(self, now):
+        """Build the (incoming, learned) maps to embed in a beacon.
+
+        ``incoming`` carries this node's first-hand estimates
+        ``p(peer -> self)``; ``learned`` carries its second-hand
+        knowledge of its own outgoing quality ``p(self -> peer)``.
+        """
+        incoming = dict(self._incoming)
+        learned = {}
+        for (a, b), (prob, ts) in self._table.items():
+            if a == self.node_id and now - ts <= self.stale_s:
+                learned[b] = prob
+        return incoming, learned

@@ -1,0 +1,53 @@
+"""Experiment orchestration: one entry point per paper artifact.
+
+Each function regenerates the data behind a table or figure of the
+paper's evaluation; the benchmark suite and the examples are thin
+wrappers around this package.  See DESIGN.md section 4 for the full
+experiment index.
+"""
+
+from repro.experiments.common import (
+    dieselnet_protocol,
+    run_protocol_cbr,
+    vanlan_protocol,
+)
+from repro.experiments.coordination import (
+    coordination_table,
+    formulation_comparison,
+    relay_count_spread,
+)
+from repro.experiments.efficiency import efficiency_comparison
+from repro.experiments.linklayer import (
+    link_layer_sessions,
+    policy_session_medians,
+)
+from repro.experiments.study import (
+    aggregate_by_density,
+    burst_loss_experiment,
+    diversity_cdfs,
+    two_bs_experiment,
+)
+from repro.experiments.tcpbench import tcp_dieselnet, tcp_vanlan
+from repro.experiments.validation import validate_trace_methodology
+from repro.experiments.voipbench import voip_dieselnet, voip_vanlan
+
+__all__ = [
+    "aggregate_by_density",
+    "burst_loss_experiment",
+    "coordination_table",
+    "dieselnet_protocol",
+    "diversity_cdfs",
+    "efficiency_comparison",
+    "formulation_comparison",
+    "link_layer_sessions",
+    "policy_session_medians",
+    "relay_count_spread",
+    "run_protocol_cbr",
+    "tcp_dieselnet",
+    "tcp_vanlan",
+    "two_bs_experiment",
+    "validate_trace_methodology",
+    "vanlan_protocol",
+    "voip_dieselnet",
+    "voip_vanlan",
+]

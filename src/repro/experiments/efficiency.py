@@ -1,0 +1,69 @@
+"""Medium-usage efficiency: Figure 12.
+
+"We measure efficiency as the number of application packets delivered
+per transmission, in the channel between the vehicle and the BSes."
+BRR and ViFi are measured directly; PerfectRelay is estimated from the
+ViFi run's packet-level logs (Section 5.4).
+"""
+
+from repro.apps.tcp import TcpWorkload
+from repro.apps.workload import FlowRouter
+from repro.core.perfect import perfect_relay_efficiency
+from repro.core.protocol import ViFiConfig
+from repro.experiments.common import WARMUP_S, vanlan_protocol
+from repro.net.packet import Direction
+
+__all__ = ["efficiency_comparison"]
+
+
+def efficiency_comparison(testbed, trips, seed=0):
+    """Figure 12: efficiency of BRR, ViFi and PerfectRelay, per direction.
+
+    The workload is the TCP experiment of Section 5.3.1, as in the
+    paper.  PerfectRelay is derived from the ViFi logs.
+
+    Returns:
+        dict direction ("upstream"/"downstream") -> dict protocol ->
+        efficiency.
+    """
+    base = ViFiConfig()
+    out = {
+        "upstream": {},
+        "downstream": {},
+    }
+    tallies = {
+        ("BRR", Direction.UPSTREAM): [0, 0],
+        ("BRR", Direction.DOWNSTREAM): [0, 0],
+        ("ViFi", Direction.UPSTREAM): [0, 0],
+        ("ViFi", Direction.DOWNSTREAM): [0, 0],
+        ("PerfectRelay", Direction.UPSTREAM): [0, 0],
+        ("PerfectRelay", Direction.DOWNSTREAM): [0, 0],
+    }
+    for trip in trips:
+        for name, config in (("BRR", base.brr_variant()), ("ViFi", base)):
+            sim, duration = vanlan_protocol(testbed, trip, config=config,
+                                            seed=seed + trip)
+            router = FlowRouter(sim)
+            workload = TcpWorkload(sim, router)
+            workload.start(WARMUP_S)
+            workload.stop(duration - 2.0)
+            sim.run(until=duration)
+            for direction in (Direction.UPSTREAM, Direction.DOWNSTREAM):
+                delivered = sum(
+                    1 for p in sim.stats.packet_records.values()
+                    if p.direction == direction and p.delivered
+                )
+                tx = sim.wireless_data_tx(direction)
+                tallies[(name, direction)][0] += delivered
+                tallies[(name, direction)][1] += tx
+                if name == "ViFi":
+                    _, pr_delivered, pr_tx = perfect_relay_efficiency(
+                        sim.stats, direction
+                    )
+                    tallies[("PerfectRelay", direction)][0] += pr_delivered
+                    tallies[("PerfectRelay", direction)][1] += pr_tx
+    for (name, direction), (delivered, tx) in tallies.items():
+        key = ("upstream" if direction is Direction.UPSTREAM
+               else "downstream")
+        out[key][name] = delivered / tx if tx else 0.0
+    return out

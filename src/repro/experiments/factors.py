@@ -1,0 +1,63 @@
+"""Environmental-factor study (the paper's companion technical report).
+
+Section 5 notes: "we have conducted a broader study of the performance
+of ViFi across a range of environmental factors.  These factors include
+the density of BSes and the speed of the vehicle, which we could not
+control for either of our testbeds ... ViFi performs well across these
+factors."  The synthetic testbed *can* control both, so this module
+sweeps them: ViFi-vs-BRR delivery on the CBR workload as the BS
+population shrinks and as the shuttle speeds up.
+"""
+
+from repro.core.protocol import ViFiConfig
+from repro.experiments.common import run_protocol_cbr
+from repro.testbeds.vanlan import VEHICLE_ID, VanLanTestbed
+
+__all__ = ["density_sweep", "speed_sweep"]
+
+
+def _run_pair(testbed, trip, bs_ids, seed):
+    """Delivery rate for (ViFi, BRR) over one trip and BS subset."""
+    from repro.core.protocol import ViFiSimulation
+    rates = {}
+    base = ViFiConfig()
+    for name, config in (("ViFi", base), ("BRR", base.brr_variant())):
+        motion = testbed.vehicle_motion()
+        table = testbed.build_link_table(trip, motion, bs_ids=bs_ids)
+        sim = ViFiSimulation(bs_ids, table, config=config, seed=seed,
+                             vehicle_id=VEHICLE_ID)
+        cbr = run_protocol_cbr(sim, motion.route.duration,
+                               deadline_s=0.1)
+        rates[name] = cbr.delivery_rate()
+    return rates
+
+
+def density_sweep(seed=0, trip=0, subset_sizes=(3, 6, 11)):
+    """Delivery vs number of deployed BSes.
+
+    Returns:
+        dict size -> {"ViFi": rate, "BRR": rate}.
+    """
+    testbed = VanLanTestbed(seed=seed)
+    all_bs = testbed.deployment.bs_ids
+    out = {}
+    for size in subset_sizes:
+        # Deterministic, spread-out subset: every k-th BS.
+        step = max(len(all_bs) // size, 1)
+        subset = all_bs[::step][:size]
+        out[size] = _run_pair(testbed, trip, subset, seed=seed + size)
+    return out
+
+
+def speed_sweep(seed=0, trip=0, speeds_kmh=(20.0, 40.0, 60.0)):
+    """Delivery vs vehicle speed.
+
+    Returns:
+        dict speed_kmh -> {"ViFi": rate, "BRR": rate}.
+    """
+    out = {}
+    for speed in speeds_kmh:
+        testbed = VanLanTestbed(seed=seed, speed_mps=speed / 3.6)
+        out[speed] = _run_pair(testbed, trip, testbed.deployment.bs_ids,
+                               seed=seed + int(speed))
+    return out

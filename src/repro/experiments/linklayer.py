@@ -1,0 +1,89 @@
+"""Link-layer session experiments: Figures 7 and 8.
+
+ViFi and BRR run as live protocols over the VanLAN radio model with the
+CBR probe workload and *link-layer retransmissions disabled*
+("Since we focus on basic link-layer quality provided by each protocol,
+link-layer retransmissions are disabled", Section 5.2); the oracle
+curves (BestBS, AllBSes) come from the trace-driven study over matched
+trips, as in the paper where Figure 7's oracle curves are carried over
+from Figure 4.
+"""
+
+from repro.core.protocol import ViFiConfig
+from repro.experiments.common import run_protocol_cbr, vanlan_protocol
+from repro.experiments.study import policy_factories
+from repro.handoff.evaluator import evaluate_policy
+from repro.handoff.sessions import (
+    session_lengths,
+    time_weighted_median_session,
+)
+
+__all__ = ["link_layer_sessions", "policy_session_medians"]
+
+
+def link_layer_sessions(testbed, trips, protocol_configs=None, seed=0,
+                        interval_s=1.0, min_ratio=0.5, deadline_s=0.1):
+    """Run live protocols over trips; session lengths per protocol.
+
+    Args:
+        testbed: a VanLAN testbed.
+        trips: trip indices to run.
+        protocol_configs: mapping name -> ViFiConfig; defaults to ViFi
+            and BRR, both with ``max_retx=0``.
+        deadline_s: a probe counts as delivered only within this bound
+            (one probe interval), mirroring the slot semantics of the
+            trace-driven policies.
+
+    Returns:
+        ``(pooled_lengths, medians)`` keyed by protocol name.
+    """
+    if protocol_configs is None:
+        base = ViFiConfig(max_retx=0)
+        protocol_configs = {
+            "ViFi": base,
+            "BRR": base.brr_variant(),
+        }
+    pooled = {name: [] for name in protocol_configs}
+    for trip in trips:
+        for name, config in protocol_configs.items():
+            sim, duration = vanlan_protocol(testbed, trip, config=config,
+                                            seed=seed + trip)
+            cbr = run_protocol_cbr(sim, duration, deadline_s=deadline_s)
+            ratios = cbr.window_reception_ratio(
+                window_s=interval_s, deadline_s=deadline_s
+            )
+            adequate = ratios >= min_ratio
+            pooled[name].extend(
+                session_lengths(adequate, window_s=interval_s)
+            )
+    medians = {
+        name: time_weighted_median_session(lengths)
+        for name, lengths in pooled.items()
+    }
+    return pooled, medians
+
+
+def policy_session_medians(testbed, trips, policy_names=("BestBS",
+                                                         "AllBSes"),
+                           interval_s=1.0, min_ratio=0.5):
+    """Trace-driven oracle session medians over matched trips.
+
+    Returns:
+        ``(pooled_lengths, medians)`` keyed by policy name.
+    """
+    factories = policy_factories()
+    pooled = {name: [] for name in policy_names}
+    for trip in trips:
+        trace = testbed.generate_probe_trace(trip)
+        for name in policy_names:
+            policy = factories[name](None)
+            outcome = evaluate_policy(trace, policy)
+            adequate = outcome.adequate_windows(interval_s, min_ratio)
+            pooled[name].extend(
+                session_lengths(adequate, window_s=interval_s)
+            )
+    medians = {
+        name: time_weighted_median_session(lengths)
+        for name, lengths in pooled.items()
+    }
+    return pooled, medians

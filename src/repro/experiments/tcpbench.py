@@ -1,0 +1,105 @@
+"""TCP experiments: Figures 9 (VanLAN) and 10 (DieselNet)."""
+
+from repro.apps.tcp import TcpWorkload
+from repro.apps.workload import FlowRouter
+from repro.core.protocol import ViFiConfig
+from repro.experiments.common import (
+    WARMUP_S,
+    dieselnet_protocol,
+    vanlan_protocol,
+)
+from repro.sim.rng import RngRegistry
+
+__all__ = ["tcp_dieselnet", "tcp_vanlan", "standard_tcp_variants"]
+
+
+def standard_tcp_variants():
+    """The three bars of Figure 9(a): BRR, diversity-only, full ViFi."""
+    base = ViFiConfig()
+    return {
+        "BRR": base.brr_variant(),
+        "OnlyDiversity": base.diversity_only_variant(),
+        "ViFi": base,
+    }
+
+
+def _run_tcp(sim, duration, seed_unused=None):
+    router = FlowRouter(sim)
+    workload = TcpWorkload(sim, router)
+    workload.start(WARMUP_S)
+    workload.stop(duration - 2.0)
+    sim.run(until=duration)
+    return workload
+
+
+def tcp_vanlan(testbed, trips, variants=None, seed=0):
+    """Figure 9: median transfer time and transfers/session on VanLAN.
+
+    Returns:
+        dict name -> {"median_s", "per_session", "completed",
+        "aborted", "per_second"} pooled over trips.
+    """
+    variants = variants or standard_tcp_variants()
+    results = {}
+    for name, config in variants.items():
+        durations = []
+        sessions = []
+        completed = aborted = 0
+        elapsed = 0.0
+        for trip in trips:
+            sim, duration = vanlan_protocol(testbed, trip, config=config,
+                                            seed=seed + trip)
+            workload = _run_tcp(sim, duration)
+            durations.extend(r.duration for r in workload.completed)
+            sessions.append(workload.transfers_per_session())
+            completed += len(workload.completed)
+            aborted += len(workload.aborted)
+            elapsed += duration - 2.0 - WARMUP_S
+        durations.sort()
+        results[name] = {
+            "median_s": durations[len(durations) // 2] if durations
+            else float("inf"),
+            "per_session": (sum(sessions) / len(sessions)
+                            if sessions else 0.0),
+            "completed": completed,
+            "aborted": aborted,
+            "per_second": completed / elapsed if elapsed > 0 else 0.0,
+        }
+    return results
+
+
+def tcp_dieselnet(testbed, days=(0,), variants=None, seed=0,
+                  n_tours=1):
+    """Figure 10: TCP transfers/second on DieselNet (trace-driven).
+
+    Returns:
+        dict name -> {"per_second", "completed", "aborted",
+        "median_s"} pooled over profiling days.
+    """
+    if variants is None:
+        base = ViFiConfig()
+        variants = {"BRR": base.brr_variant(), "ViFi": base}
+    results = {}
+    for name, config in variants.items():
+        completed = aborted = 0
+        durations = []
+        elapsed = 0.0
+        for day in days:
+            log = testbed.generate_beacon_log(day, n_tours=n_tours)
+            rngs = RngRegistry(seed).spawn("tcp-dn", name, day)
+            sim, duration = dieselnet_protocol(log, rngs, config=config,
+                                               seed=seed + day)
+            workload = _run_tcp(sim, duration)
+            completed += len(workload.completed)
+            aborted += len(workload.aborted)
+            durations.extend(r.duration for r in workload.completed)
+            elapsed += duration - 2.0 - WARMUP_S
+        durations.sort()
+        results[name] = {
+            "per_second": completed / elapsed if elapsed > 0 else 0.0,
+            "completed": completed,
+            "aborted": aborted,
+            "median_s": durations[len(durations) // 2] if durations
+            else float("inf"),
+        }
+    return results

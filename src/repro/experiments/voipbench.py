@@ -1,0 +1,78 @@
+"""VoIP experiments: Figure 11 (VanLAN and DieselNet)."""
+
+import statistics
+
+from repro.apps.voip import VoipStream
+from repro.apps.workload import FlowRouter
+from repro.core.protocol import ViFiConfig
+from repro.experiments.common import (
+    WARMUP_S,
+    dieselnet_protocol,
+    vanlan_protocol,
+)
+from repro.sim.rng import RngRegistry
+
+__all__ = ["voip_dieselnet", "voip_vanlan"]
+
+
+def _run_voip(sim, duration):
+    router = FlowRouter(sim)
+    stream = VoipStream(sim, router)
+    stream.start(WARMUP_S)
+    stream.stop(duration - 2.0)
+    sim.run(until=duration)
+    return stream
+
+
+def _summarize(sessions, mos_values):
+    return {
+        "median_session_s": statistics.median(sessions) if sessions
+        else 0.0,
+        "sessions": len(sessions),
+        "mean_mos": (sum(mos_values) / len(mos_values)
+                     if mos_values else 1.0),
+    }
+
+
+def voip_vanlan(testbed, trips, variants=None, seed=0):
+    """Figure 11(a): median uninterrupted VoIP session on VanLAN.
+
+    Returns:
+        dict name -> {"median_session_s", "sessions", "mean_mos"}.
+    """
+    if variants is None:
+        base = ViFiConfig()
+        variants = {"BRR": base.brr_variant(), "ViFi": base}
+    results = {}
+    for name, config in variants.items():
+        sessions = []
+        mos_values = []
+        for trip in trips:
+            sim, duration = vanlan_protocol(testbed, trip, config=config,
+                                            seed=seed + trip)
+            stream = _run_voip(sim, duration)
+            sessions.extend(stream.session_lengths())
+            mos_values.extend(m for m, _, _ in stream.window_quality())
+        results[name] = _summarize(sessions, mos_values)
+    return results
+
+
+def voip_dieselnet(testbed, days=(0,), variants=None, seed=0, n_tours=1):
+    """Figure 11(b,c): VoIP sessions on DieselNet (trace-driven)."""
+    if variants is None:
+        base = ViFiConfig()
+        variants = {"BRR": base.brr_variant(), "ViFi": base}
+    results = {}
+    for name, config in variants.items():
+        sessions = []
+        mos_values = []
+        for day in days:
+            log = testbed.generate_beacon_log(day, n_tours=n_tours)
+            rngs = RngRegistry(seed).spawn("voip-dn", name, day)
+            sim, duration = dieselnet_protocol(log, rngs, config=config,
+                                               seed=seed + day)
+            stream = _run_voip(sim, duration)
+            sessions.extend(stream.session_lengths())
+            mos_values.extend(m for m, _, _ in stream.window_quality())
+        results[name] = _summarize(sessions, mos_values)
+    return results

@@ -1,0 +1,75 @@
+"""Uninterrupted-connectivity sessions (Sections 3.3 and 5.2).
+
+The paper's interactive-application metric: a *session* is a maximal
+run of consecutive windows with adequate connectivity, where adequacy
+means the combined reception ratio within each window of
+``interval_s`` seconds is at least ``min_ratio``.  Figure 3(d) plots
+the CDF of *time spent* in sessions of a given length; Figures 4 and 7
+report its median as the definitions vary.
+"""
+
+import numpy as np
+
+__all__ = [
+    "adequacy_runs",
+    "session_lengths",
+    "time_in_sessions_cdf",
+    "time_weighted_median_session",
+]
+
+
+def adequacy_runs(adequate):
+    """Maximal runs of True in a boolean sequence.
+
+    Returns:
+        List of ``(start_index, run_length)`` pairs.
+    """
+    runs = []
+    start = None
+    for i, flag in enumerate(adequate):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            runs.append((start, i - start))
+            start = None
+    if start is not None:
+        runs.append((start, len(adequate) - start))
+    return runs
+
+
+def session_lengths(adequate, window_s=1.0):
+    """Session lengths in seconds from a per-window adequacy sequence."""
+    return [length * window_s for _, length in adequacy_runs(adequate)]
+
+
+def time_in_sessions_cdf(lengths):
+    """The Figure 3(d) distribution: time spent in sessions by length.
+
+    Args:
+        lengths: session lengths in seconds.
+
+    Returns:
+        ``(xs, ys)`` — session lengths (sorted) and the cumulative
+        fraction of *connected time* spent in sessions of length <= x.
+    """
+    if not lengths:
+        return np.zeros(0), np.zeros(0)
+    xs = np.sort(np.asarray(lengths, dtype=float))
+    weights = xs / xs.sum()
+    ys = np.cumsum(weights)
+    return xs, ys
+
+
+def time_weighted_median_session(lengths):
+    """Median session length weighted by time spent in each session.
+
+    This is the "median session length" of Figures 4 and 7: the session
+    length L such that half of all connected time is spent in sessions
+    of length at most L.  Returns 0.0 when there were no sessions.
+    """
+    xs, ys = time_in_sessions_cdf(lengths)
+    if len(xs) == 0:
+        return 0.0
+    idx = int(np.searchsorted(ys, 0.5))
+    idx = min(idx, len(xs) - 1)
+    return float(xs[idx])

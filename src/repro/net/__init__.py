@@ -1,0 +1,49 @@
+"""Network substrate: frames, loss processes, radio links, media.
+
+This package models everything between a protocol engine and the
+airwaves:
+
+* :mod:`repro.net.packet` — the frame types exchanged over the air
+  (data, bitmap acknowledgments, beacons).
+* :mod:`repro.net.channel` — packet-loss processes, including the
+  Gilbert-Elliott bursty channel the measurement study motivates and a
+  trace-driven process for the paper's DieselNet methodology.
+* :mod:`repro.net.propagation` — log-distance path loss, lognormal
+  shadowing, gray periods, and RSSI synthesis.
+* :mod:`repro.net.mobility` — waypoint routes and vehicle motion.
+* :mod:`repro.net.medium` — the shared broadcast wireless medium.
+* :mod:`repro.net.backplane` — the bandwidth-limited inter-BS wired
+  plane that upstream relays and salvaging traverse.
+"""
+
+from repro.net.backplane import Backplane
+from repro.net.channel import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    SteeredGilbertElliott,
+    TraceDrivenLoss,
+)
+from repro.net.medium import LinkTable, WirelessMedium
+from repro.net.mobility import Route, StationaryPosition, VehicleMotion
+from repro.net.packet import Ack, Beacon, DataPacket, Direction, FrameKind
+from repro.net.propagation import LinkModel, RadioProfile
+
+__all__ = [
+    "Ack",
+    "Backplane",
+    "Beacon",
+    "BernoulliLoss",
+    "DataPacket",
+    "Direction",
+    "FrameKind",
+    "GilbertElliottLoss",
+    "LinkModel",
+    "LinkTable",
+    "RadioProfile",
+    "Route",
+    "StationaryPosition",
+    "SteeredGilbertElliott",
+    "TraceDrivenLoss",
+    "VehicleMotion",
+    "WirelessMedium",
+]

@@ -1,0 +1,91 @@
+"""The bandwidth-limited inter-BS wired backplane.
+
+ViFi explicitly targets deployments where "inter-BS communication tends
+to be based on relatively thin broadband links or a multi-hop wireless
+mesh" (Section 4.1), unlike enterprise-WLAN diversity systems that
+assume a high-capacity LAN.  Upstream relays and salvage transfers
+traverse this plane; the protocol's claim is that it "places little
+additional demand" on it.
+
+The model: every BS has a wired uplink of ``bandwidth_bps``; a message
+from one BS to another is serialized on the sender's uplink (FIFO) and
+arrives after a propagation ``latency_s``.  The backplane is reliable
+(it is wired) but counts every byte per category so experiments can
+report the relaying/salvaging load that Section 5.4 discusses.
+"""
+
+__all__ = ["Backplane"]
+
+
+class Backplane:
+    """Wired inter-BS message plane with per-sender FIFO serialization.
+
+    Args:
+        sim: the simulator.
+        bandwidth_bps: per-BS uplink capacity (default 1 Mbps — "thin
+            broadband").
+        latency_s: one-way propagation + switching latency.
+    """
+
+    def __init__(self, sim, bandwidth_bps=1_000_000.0, latency_s=0.01):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.bandwidth = float(bandwidth_bps)
+        self.latency = float(latency_s)
+        self._members = set()
+        self._uplink_free_at = {}
+        self.bytes_sent = {}
+        self.messages_sent = {}
+
+    def connect(self, bs_id):
+        """Register a basestation on the backplane."""
+        self._members.add(bs_id)
+        self._uplink_free_at.setdefault(bs_id, 0.0)
+
+    def is_connected(self, bs_id):
+        return bs_id in self._members
+
+    def send(self, src, dst, payload, size_bytes, on_delivery,
+             category="relay"):
+        """Send *payload* from BS *src* to BS *dst*.
+
+        Args:
+            payload: opaque object handed to *on_delivery*.
+            size_bytes: serialized size for bandwidth accounting.
+            on_delivery: callable ``(payload) -> None`` invoked at the
+                receiver when the message arrives.
+            category: accounting bucket ("relay", "salvage",
+                "forward", ...).
+
+        Returns:
+            The simulation time at which delivery will occur.
+        """
+        if src not in self._members:
+            raise KeyError(f"BS {src} not on the backplane")
+        if dst not in self._members:
+            raise KeyError(f"BS {dst} not on the backplane")
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+
+        now = self.sim.now
+        start = max(now, self._uplink_free_at[src])
+        tx_done = start + size_bytes * 8.0 / self.bandwidth
+        self._uplink_free_at[src] = tx_done
+        arrival = tx_done + self.latency
+
+        self.bytes_sent[category] = (
+            self.bytes_sent.get(category, 0) + size_bytes
+        )
+        self.messages_sent[category] = self.messages_sent.get(category, 0) + 1
+
+        self.sim.schedule_at(arrival, on_delivery, payload)
+        return arrival
+
+    def total_bytes(self, category=None):
+        """Bytes sent, optionally restricted to one category."""
+        if category is not None:
+            return self.bytes_sent.get(category, 0)
+        return sum(self.bytes_sent.values())

@@ -1,0 +1,320 @@
+"""The shared broadcast wireless medium.
+
+All nodes (vehicle and basestations) share one 802.11 channel, as in the
+paper's experiments ("All nodes were set to the same 802.11 channel",
+Section 2.1).  The medium implements:
+
+* **Broadcast transmission** at a fixed bitrate (1 Mbps, Section 5.1)
+  with PLCP preamble overhead; every attached node is a potential
+  receiver of every frame.
+* **Per-link loss**: each ordered pair of nodes has a
+  :class:`~repro.net.channel.LossProcess` in a :class:`LinkTable`;
+  missing links never deliver (nodes out of range).
+* **Carrier sense with random backoff**: ViFi uses broadcast frames,
+  which disables 802.11's exponential backoff; "to reduce collisions,
+  our implementation relies on carrier sense" (Section 4.8).  We model
+  a single collision domain: a sender defers until the medium is idle,
+  waits DIFS plus a uniform backoff, and transmits.  Frames whose
+  airtimes overlap collide and are lost at every receiver.
+* **Single pending frame per node**: the implementation "ensures that
+  there is no more than one packet pending at the interface"
+  (Section 4.8); additional frames queue in FIFO order.
+
+The medium also keeps transmission counters per node and frame kind so
+the efficiency analysis (Figure 12) can count every transmission on the
+vehicle-BS channel.
+"""
+
+from collections import deque
+
+__all__ = ["LinkTable", "MediumObserver", "WirelessMedium"]
+
+
+class LinkTable:
+    """Loss processes for ordered node pairs.
+
+    Links may be registered explicitly with :meth:`set_link` or created
+    on demand by a factory ``(src, dst) -> LossProcess | None``.  A
+    ``None`` process means the pair is out of range: frames are never
+    delivered.
+    """
+
+    def __init__(self, factory=None):
+        self._links = {}
+        self._factory = factory
+
+    def set_link(self, src, dst, process, symmetric=False):
+        """Register the loss process for ``src -> dst``.
+
+        With ``symmetric=True`` the same process object also serves
+        ``dst -> src``, mirroring the paper's symmetric trace
+        methodology (Section 5.1).
+        """
+        self._links[(src, dst)] = process
+        if symmetric:
+            self._links[(dst, src)] = process
+
+    def get(self, src, dst):
+        """Return the loss process for ``src -> dst`` or ``None``."""
+        key = (src, dst)
+        if key not in self._links:
+            if self._factory is None:
+                return None
+            self._links[key] = self._factory(src, dst)
+        return self._links[key]
+
+    def loss_rate(self, src, dst, t):
+        """Expected loss probability on ``src -> dst`` at time *t*.
+
+        Unreachable pairs report 1.0.
+        """
+        process = self.get(src, dst)
+        if process is None:
+            return 1.0
+        return process.loss_rate(t)
+
+    def pairs(self):
+        """Iterate over registered ``(src, dst)`` pairs."""
+        return iter(list(self._links.keys()))
+
+
+class MediumObserver:
+    """Optional hook interface for logging medium activity.
+
+    Subclass and override any subset; the default methods ignore the
+    events.  Observers power the PerfectRelay estimation (Section 5.4)
+    and the Table 1 coordination statistics, both of which are derived
+    from packet-level logs of the live protocol.
+    """
+
+    def on_transmit(self, transmitter_id, frame, start_time, end_time):
+        """Called when a frame's airtime begins."""
+
+    def on_deliver(self, transmitter_id, receiver_id, frame, time):
+        """Called when a receiver correctly decodes a frame."""
+
+    def on_loss(self, transmitter_id, receiver_id, frame, time, collided):
+        """Called when a reachable receiver fails to decode a frame."""
+
+
+class WirelessMedium:
+    """Single-channel broadcast medium with CSMA and per-link losses.
+
+    Args:
+        sim: the :class:`~repro.sim.engine.Simulator`.
+        links: a :class:`LinkTable`.
+        rng: random stream for backoff draws.
+        bitrate_bps: channel bitrate (default 1 Mbps, as in the paper).
+        plcp_overhead_s: preamble+PLCP header airtime (long preamble).
+        difs_s: inter-frame space before backoff.
+        slot_time_s: backoff slot duration.
+        backoff_slots: contention window; backoff is uniform in
+            ``[0, backoff_slots]`` slots.  Broadcast frames do not use
+            exponential backoff (Section 4.8).
+        mac_retry_limit: MAC retransmissions for *unicast* sends (the
+            Section 5.1 ablation); broadcast frames never retry.
+        max_cw_slots: exponential-backoff ceiling for unicast mode.
+    """
+
+    def __init__(self, sim, links, rng, bitrate_bps=1_000_000.0,
+                 plcp_overhead_s=192e-6, difs_s=50e-6, slot_time_s=20e-6,
+                 backoff_slots=31, mac_retry_limit=4, max_cw_slots=1023):
+        self.sim = sim
+        self.links = links
+        self.rng = rng
+        self.bitrate = float(bitrate_bps)
+        self.plcp_overhead = float(plcp_overhead_s)
+        self.difs = float(difs_s)
+        self.slot_time = float(slot_time_s)
+        self.backoff_slots = int(backoff_slots)
+        self.mac_retry_limit = int(mac_retry_limit)
+        self.max_cw_slots = int(max_cw_slots)
+
+        self._nodes = {}
+        self._queues = {}
+        self._attempt_pending = {}
+        self._cw = {}  # unicast contention window per node
+        self._busy_until = 0.0
+        self._active = []  # (start, end, transmitter_id, frame)
+        self.observers = []
+
+        # Counters: transmissions on the vehicle-BS channel, per node
+        # and frame kind, for the Figure 12 efficiency accounting.
+        self.tx_count = {}
+        self.delivered_count = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def attach(self, node):
+        """Attach *node*; it must expose ``node_id`` and ``on_receive``."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} already attached")
+        self._nodes[node.node_id] = node
+        self._queues[node.node_id] = deque()
+        self._attempt_pending[node.node_id] = False
+        self._cw[node.node_id] = self.backoff_slots
+
+    def add_observer(self, observer):
+        self.observers.append(observer)
+
+    @property
+    def node_ids(self):
+        return list(self._nodes.keys())
+
+    # ------------------------------------------------------------------
+    # Transmission path
+    # ------------------------------------------------------------------
+
+    def airtime(self, size_bytes):
+        """On-air duration of a frame of *size_bytes*."""
+        return self.plcp_overhead + (size_bytes * 8.0) / self.bitrate
+
+    def send(self, transmitter_id, frame, priority=False,
+             unicast_to=None):
+        """Queue *frame* for broadcast by *transmitter_id*.
+
+        Priority frames (acknowledgments) jump the node's queue,
+        mirroring 802.11's expedited access class for control traffic:
+        an ack should never wait behind a backlog of data frames.
+
+        With ``unicast_to`` set, the frame is sent 802.11-unicast
+        style: if the named receiver fails to decode it, the MAC
+        retries up to ``mac_retry_limit`` times, doubling the sender's
+        contention window each time (reset on success).  Every
+        receiver still overhears each attempt.  This models the
+        standard behaviour the paper's broadcast-based framework
+        deliberately avoids: "broadcast transmissions disable
+        exponential backoff in response to losses" (Section 4.8), and
+        immediate MAC retries tend to die inside the same loss burst
+        (Section 4.3).
+        """
+        if transmitter_id not in self._nodes:
+            raise KeyError(f"unknown transmitter {transmitter_id}")
+        entry = (frame, unicast_to, 0)
+        if priority:
+            self._queues[transmitter_id].appendleft(entry)
+        else:
+            self._queues[transmitter_id].append(entry)
+        self._schedule_attempt(transmitter_id)
+
+    def queue_length(self, transmitter_id):
+        """Frames waiting (or in backoff) at the given node."""
+        return len(self._queues[transmitter_id])
+
+    def _schedule_attempt(self, transmitter_id):
+        if self._attempt_pending[transmitter_id]:
+            return
+        if not self._queues[transmitter_id]:
+            return
+        self._attempt_pending[transmitter_id] = True
+        now = self.sim.now
+        idle_at = max(now, self._busy_until)
+        window = self._cw[transmitter_id]
+        backoff = self.rng.integers(0, window + 1) * self.slot_time
+        attempt_at = idle_at + self.difs + backoff
+        self.sim.schedule_at(attempt_at, self._attempt, transmitter_id)
+
+    def _attempt(self, transmitter_id):
+        self._attempt_pending[transmitter_id] = False
+        if not self._queues[transmitter_id]:
+            return
+        now = self.sim.now
+        if now < self._busy_until:
+            # Medium became busy during our backoff; defer again.
+            self._schedule_attempt(transmitter_id)
+            return
+        frame, unicast_to, attempt = \
+            self._queues[transmitter_id].popleft()
+        self._transmit(transmitter_id, frame, unicast_to, attempt)
+        # Next queued frame (if any) contends afresh.
+        self._schedule_attempt(transmitter_id)
+
+    def _transmit(self, transmitter_id, frame, unicast_to=None,
+                  attempt=0):
+        start = self.sim.now
+        end = start + self.airtime(frame.size_bytes)
+        # Collision bookkeeping: any concurrently airing frame overlaps.
+        self._active = [t for t in self._active if t[1] > start]
+        colliding = list(self._active)
+        self._active.append((start, end, transmitter_id, frame))
+        self._busy_until = max(self._busy_until, end)
+
+        kind = frame.kind.value
+        key = (transmitter_id, kind)
+        self.tx_count[key] = self.tx_count.get(key, 0) + 1
+        for obs in self.observers:
+            obs.on_transmit(transmitter_id, frame, start, end)
+
+        collided = bool(colliding)
+        if collided:
+            # The earlier overlapping frames are retroactively corrupted
+            # at receivers whose delivery has not resolved yet; for
+            # simplicity (and because carrier sense makes overlap rare)
+            # we corrupt this frame only.  The earlier frame's
+            # deliveries were decided at its start.
+            pass
+        self.sim.schedule_at(end, self._resolve, transmitter_id, frame, start,
+                             collided, unicast_to, attempt)
+
+    def _resolve(self, transmitter_id, frame, start, collided,
+                 unicast_to=None, attempt=0):
+        unicast_delivered = False
+        for receiver_id, node in self._nodes.items():
+            if receiver_id == transmitter_id:
+                continue
+            process = self.links.get(transmitter_id, receiver_id)
+            if process is None:
+                continue
+            lost = collided or process.is_lost(start)
+            if lost:
+                for obs in self.observers:
+                    obs.on_loss(transmitter_id, receiver_id, frame,
+                                self.sim.now, collided)
+                continue
+            if receiver_id == unicast_to:
+                unicast_delivered = True
+            key = (receiver_id, frame.kind.value)
+            self.delivered_count[key] = self.delivered_count.get(key, 0) + 1
+            for obs in self.observers:
+                obs.on_deliver(transmitter_id, receiver_id, frame,
+                               self.sim.now)
+            node.on_receive(frame, transmitter_id)
+
+        if unicast_to is not None:
+            if unicast_delivered:
+                self._cw[transmitter_id] = self.backoff_slots
+            elif attempt < self.mac_retry_limit:
+                # MAC retry: double the contention window and put the
+                # frame back at the head of the queue.
+                self._cw[transmitter_id] = min(
+                    2 * self._cw[transmitter_id] + 1, self.max_cw_slots
+                )
+                self._queues[transmitter_id].appendleft(
+                    (frame, unicast_to, attempt + 1)
+                )
+                self._schedule_attempt(transmitter_id)
+                return  # completion deferred until MAC gives up
+            else:
+                # Retry budget exhausted; reset for the next frame.
+                self._cw[transmitter_id] = self.backoff_slots
+        transmitter = self._nodes.get(transmitter_id)
+        if transmitter is not None and hasattr(transmitter,
+                                               "on_transmit_complete"):
+            transmitter.on_transmit_complete(frame)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def transmissions(self, kind=None, node_id=None):
+        """Total transmissions, optionally filtered by kind / node."""
+        total = 0
+        for (nid, k), count in self.tx_count.items():
+            if kind is not None and k != kind:
+                continue
+            if node_id is not None and nid != node_id:
+                continue
+            total += count
+        return total

@@ -1,0 +1,253 @@
+"""Radio propagation: path loss, shadowing, gray periods, RSSI.
+
+The VanLAN measurement study found that vehicular connectivity "is often
+marred by gray periods where connection quality drops sharply" and
+"occur even close to BSes" (Section 3.3).  Our link model therefore has
+three layers:
+
+1. **Log-distance path loss** sets the mean received power as a
+   function of distance.
+2. **Lognormal shadowing**, temporally correlated through an AR(1)
+   (Ornstein-Uhlenbeck) process updated once per second, models the
+   slowly varying obstruction environment as the vehicle moves.
+3. **Gray periods**: a Poisson process of short windows during which
+   the reception probability collapses regardless of distance —
+   reproducing the unpredictable sharp drops the paper measured.
+
+Received power maps to packet reception probability through a logistic
+curve calibrated for 500-byte frames at 1 Mbps (the paper's fixed rate,
+Section 5.1).
+"""
+
+import math
+
+__all__ = [
+    "GrayPeriodProcess",
+    "LinkModel",
+    "RadioProfile",
+    "Shadowing",
+    "SpatialField",
+]
+
+
+class RadioProfile:
+    """Static radio parameters shared by a deployment.
+
+    Attributes:
+        tx_power_dbm: transmit power.
+        path_loss_exponent: log-distance exponent (3.2 suits suburban
+            outdoor non-line-of-sight).
+        ref_loss_db: path loss at the 1 m reference distance.
+        shadowing_sigma_db: lognormal shadowing standard deviation.
+        shadowing_tau_s: shadowing decorrelation time constant.
+        decode_mid_dbm: RSSI at which half the frames decode.
+        decode_width_db: logistic width of the decode curve.
+        max_reception: ceiling on the decode probability.  Outdoor
+            vehicular links never reach wired-like reliability — the
+            paper's measured reception probabilities top out around
+            0.67-0.75 even for chosen BS pairs (Figure 6b) — so the
+            logistic curve is scaled by this cap.
+        noise_floor_dbm: floor below which nothing is ever received.
+        gray_rate_per_s: Poisson rate of gray-period onsets per link.
+        gray_duration_s: mean gray-period duration.
+        gray_residual_reception: reception probability inside a gray
+            period (close to zero).
+    """
+
+    def __init__(self, tx_power_dbm=18.0, path_loss_exponent=3.2,
+                 ref_loss_db=41.0, shadowing_sigma_db=5.5,
+                 shadowing_tau_s=12.0, decode_mid_dbm=-88.0,
+                 decode_width_db=3.5, max_reception=1.0,
+                 noise_floor_dbm=-100.0,
+                 gray_rate_per_s=1.0 / 45.0, gray_duration_s=2.5,
+                 gray_residual_reception=0.05):
+        self.tx_power_dbm = tx_power_dbm
+        self.path_loss_exponent = path_loss_exponent
+        self.ref_loss_db = ref_loss_db
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.shadowing_tau_s = shadowing_tau_s
+        self.decode_mid_dbm = decode_mid_dbm
+        self.decode_width_db = decode_width_db
+        self.max_reception = max_reception
+        self.noise_floor_dbm = noise_floor_dbm
+        self.gray_rate_per_s = gray_rate_per_s
+        self.gray_duration_s = gray_duration_s
+        self.gray_residual_reception = gray_residual_reception
+
+    def mean_rssi(self, distance_m):
+        """Mean RSSI (dBm) at *distance_m* via log-distance path loss."""
+        d = max(float(distance_m), 1.0)
+        loss = self.ref_loss_db + 10.0 * self.path_loss_exponent * math.log10(d)
+        return self.tx_power_dbm - loss
+
+    def reception_prob(self, rssi_dbm):
+        """Frame decode probability at a given RSSI (logistic curve)."""
+        if rssi_dbm <= self.noise_floor_dbm:
+            return 0.0
+        x = (rssi_dbm - self.decode_mid_dbm) / self.decode_width_db
+        # Clamp to avoid overflow in exp for extreme arguments.
+        if x > 30:
+            return self.max_reception
+        if x < -30:
+            return 0.0
+        return self.max_reception / (1.0 + math.exp(-x))
+
+
+class Shadowing:
+    """AR(1) lognormal shadowing sampled on a one-second lattice.
+
+    The process satisfies ``s[k+1] = a * s[k] + sqrt(1-a^2) * sigma * w``
+    with ``a = exp(-1/tau)``, giving an exponentially decaying
+    autocorrelation with time constant ``tau`` seconds and a stationary
+    standard deviation ``sigma`` dB.  Values between lattice points are
+    linearly interpolated so RSSI varies smoothly.
+    """
+
+    def __init__(self, sigma_db, tau_s, rng):
+        self.sigma = float(sigma_db)
+        self.a = math.exp(-1.0 / max(float(tau_s), 1e-9))
+        self.rng = rng
+        self._values = [self.rng.normal(0.0, self.sigma)]
+
+    def _extend_to(self, k):
+        innov = math.sqrt(max(1.0 - self.a * self.a, 0.0)) * self.sigma
+        while len(self._values) <= k + 1:
+            prev = self._values[-1]
+            self._values.append(self.a * prev + self.rng.normal(0.0, innov))
+
+    def value_db(self, t):
+        """Shadowing offset in dB at time *t* (t >= 0)."""
+        if t < 0:
+            raise ValueError("shadowing queried before time zero")
+        k = int(math.floor(t))
+        self._extend_to(k)
+        frac = t - k
+        return (1.0 - frac) * self._values[k] + frac * self._values[k + 1]
+
+
+class SpatialField:
+    """A static, spatially correlated shadowing field (dB).
+
+    Obstructions like buildings and trees give each *location* a
+    persistent quality offset relative to free-space prediction; this is
+    what makes history-based BS selection work (the paper's History
+    policy, after MobiSteer, predicts per-location performance from the
+    previous day).  We synthesize a zero-mean Gaussian-process-like
+    field as a sum of random-frequency cosines (random Fourier
+    features), which is smooth over the given correlation length and
+    deterministic for a given stream.
+
+    Args:
+        sigma_db: stationary standard deviation of the field.
+        correlation_m: spatial correlation length in metres.
+        rng: stream used to draw frequencies/phases (one-shot).
+        n_terms: number of cosine terms; more terms make the field
+            closer to Gaussian.
+    """
+
+    def __init__(self, sigma_db, correlation_m, rng, n_terms=48):
+        self.sigma = float(sigma_db)
+        scale = 1.0 / max(float(correlation_m), 1e-9)
+        self._freqs = rng.normal(0.0, scale, size=(n_terms, 2))
+        self._phases = rng.uniform(0.0, 2.0 * math.pi, size=n_terms)
+        self._amp = self.sigma * math.sqrt(2.0 / n_terms)
+
+    def value_db(self, x, y):
+        """Field value at position ``(x, y)``."""
+        total = 0.0
+        for (fx, fy), phase in zip(self._freqs, self._phases):
+            total += math.cos(fx * x + fy * y + phase)
+        return self._amp * total
+
+
+class GrayPeriodProcess:
+    """Poisson arrivals of short reception collapses on a link.
+
+    Onsets arrive at rate ``rate_per_s``; each lasts an exponential
+    duration with the configured mean.  Overlapping periods merge.
+    """
+
+    def __init__(self, rate_per_s, mean_duration_s, rng, horizon_hint_s=1200.0):
+        self.rate = float(rate_per_s)
+        self.mean_duration = float(mean_duration_s)
+        self.rng = rng
+        self._intervals = []
+        self._generated_until = 0.0
+        self._horizon_step = float(horizon_hint_s)
+
+    def _generate_until(self, t):
+        while self._generated_until <= t:
+            start = self._generated_until
+            end = start + self._horizon_step
+            if self.rate > 0:
+                expected = self.rate * (end - start)
+                count = self.rng.poisson(expected)
+                onsets = sorted(self.rng.uniform(start, end, size=count))
+                for onset in onsets:
+                    duration = self.rng.exponential(self.mean_duration)
+                    self._intervals.append((onset, onset + duration))
+            self._generated_until = end
+
+    def in_gray(self, t):
+        """True when time *t* falls inside a gray period."""
+        self._generate_until(t)
+        for start, end in self._intervals:
+            if start <= t < end:
+                return True
+            if start > t:
+                break
+        return False
+
+
+class LinkModel:
+    """A directed radio link: mean reception probability over time.
+
+    Combines path loss between the two endpoints' (possibly moving)
+    positions, shadowing, and gray periods.  The model is *directional*
+    in use but built symmetrically: callers typically create one model
+    per unordered pair and share it for both directions, matching the
+    paper's symmetric trace methodology, or create two with independent
+    shadowing for asymmetry studies.
+
+    Args:
+        profile: the :class:`RadioProfile`.
+        position_a / position_b: callables ``t -> (x, y)``.
+        shadowing: a :class:`Shadowing` instance or ``None``.
+        gray: a :class:`GrayPeriodProcess` or ``None``.
+        spatial: a :class:`SpatialField` evaluated at endpoint *b*'s
+            position (conventionally the moving endpoint), or ``None``.
+    """
+
+    def __init__(self, profile, position_a, position_b, shadowing=None,
+                 gray=None, spatial=None):
+        self.profile = profile
+        self.position_a = position_a
+        self.position_b = position_b
+        self.shadowing = shadowing
+        self.gray = gray
+        self.spatial = spatial
+
+    def distance(self, t):
+        ax, ay = self.position_a(t)
+        bx, by = self.position_b(t)
+        return math.hypot(ax - bx, ay - by)
+
+    def rssi(self, t):
+        """Instantaneous RSSI including shadowing (dBm)."""
+        value = self.profile.mean_rssi(self.distance(t))
+        if self.shadowing is not None:
+            value += self.shadowing.value_db(t)
+        if self.spatial is not None:
+            bx, by = self.position_b(t)
+            value += self.spatial.value_db(bx, by)
+        return value
+
+    def reception_prob(self, t):
+        """Mean packet reception probability at time *t*."""
+        p = self.profile.reception_prob(self.rssi(t))
+        if self.gray is not None and self.gray.in_gray(t):
+            p = min(p, self.profile.gray_residual_reception)
+        return p
+
+    def loss_prob(self, t):
+        return 1.0 - self.reception_prob(t)

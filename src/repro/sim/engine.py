@@ -1,0 +1,158 @@
+"""A small deterministic discrete-event simulator.
+
+The engine is a binary-heap scheduler.  Events scheduled for the same
+instant fire in insertion order (a monotone sequence number breaks
+ties), which keeps runs deterministic regardless of callback identity.
+
+Typical use::
+
+    sim = Simulator()
+    sim.schedule(1.5, node.on_timer)
+    sim.run(until=300.0)
+
+Handles returned by :meth:`Simulator.schedule` can cancel a pending
+event; cancellation is O(1) (the event is tombstoned and skipped when
+popped), which suits protocols that arm and disarm many timers, such as
+ViFi's retransmission and relay timers.
+"""
+
+import heapq
+import itertools
+import math
+
+__all__ = ["EventHandle", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduling errors, e.g. scheduling into the past."""
+
+
+class EventHandle:
+    """Handle to a scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def active(self):
+        """True while the event is neither cancelled nor fired."""
+        return not self.cancelled and self.callback is not None
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Deterministic event loop with a floating-point clock (seconds)."""
+
+    def __init__(self, start_time=0.0):
+        self._now = float(start_time)
+        self._queue = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self):
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay, callback, *args):
+        """Schedule *callback(*args)* to fire *delay* seconds from now.
+
+        Returns an :class:`EventHandle` usable for cancellation.  A zero
+        delay fires after currently queued same-time events.
+        """
+        if delay < 0 or not math.isfinite(delay):
+            raise SimulationError(f"invalid delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule *callback(*args)* at absolute simulation *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, now is {self._now:.6f}"
+            )
+        handle = EventHandle(float(time), next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def run(self, until=None, max_events=None):
+        """Run events in order until the queue drains or limits hit.
+
+        Args:
+            until: stop once the next event is strictly later than this
+                time; the clock is then advanced to *until*.
+            max_events: optional safety cap on processed events.
+
+        Returns:
+            Number of events processed during this call.
+        """
+        processed = 0
+        self._running = True
+        try:
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = head.time
+                callback, args = head.callback, head.args
+                head.callback = None
+                head.args = None
+                callback(*args)
+                processed += 1
+                self.events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return processed
+
+    def step(self):
+        """Process exactly one pending event.  Returns False if idle."""
+        while self._queue:
+            head = heapq.heappop(self._queue)
+            if head.cancelled:
+                continue
+            self._now = head.time
+            callback, args = head.callback, head.args
+            head.callback = None
+            head.args = None
+            callback(*args)
+            self.events_processed += 1
+            return True
+        return False
+
+    @property
+    def pending(self):
+        """Number of queued, non-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def peek_time(self):
+        """Time of the next live event, or ``None`` when idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def __repr__(self):
+        return f"Simulator(now={self._now:.6f}, pending={self.pending})"

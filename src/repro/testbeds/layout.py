@@ -1,0 +1,56 @@
+"""Deployment geometry: basestation placements and bounds."""
+
+import math
+
+from repro.net.mobility import StationaryPosition
+
+__all__ = ["Deployment"]
+
+
+class Deployment:
+    """A set of named basestations in a bounded planar region.
+
+    Attributes:
+        name: human-readable deployment name.
+        bs_positions: mapping bs_id -> (x, y) in metres.
+        bounds: (width, height) of the region in metres.
+    """
+
+    def __init__(self, name, bs_positions, bounds):
+        self.name = name
+        self.bs_positions = {int(k): (float(x), float(y))
+                             for k, (x, y) in bs_positions.items()}
+        self.bounds = (float(bounds[0]), float(bounds[1]))
+
+    @property
+    def bs_ids(self):
+        return sorted(self.bs_positions.keys())
+
+    @property
+    def n_bs(self):
+        return len(self.bs_positions)
+
+    def position_of(self, bs_id):
+        """Return a position callable for the given basestation."""
+        x, y = self.bs_positions[bs_id]
+        return StationaryPosition(x, y)
+
+    def distance(self, bs_a, bs_b):
+        """Distance between two basestations, metres."""
+        xa, ya = self.bs_positions[bs_a]
+        xb, yb = self.bs_positions[bs_b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def subset(self, bs_ids):
+        """A new deployment restricted to the given basestations."""
+        missing = set(bs_ids) - set(self.bs_positions)
+        if missing:
+            raise KeyError(f"unknown basestations: {sorted(missing)}")
+        positions = {b: self.bs_positions[b] for b in bs_ids}
+        return Deployment(f"{self.name}/subset{len(positions)}", positions,
+                          self.bounds)
+
+    def __repr__(self):
+        w, h = self.bounds
+        return (f"Deployment({self.name!r}, {self.n_bs} BSes, "
+                f"{w:.0f}x{h:.0f} m)")

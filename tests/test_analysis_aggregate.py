@@ -1,0 +1,76 @@
+"""Unit tests for the Figure 2 aggregation helper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import packets_per_day_by_density
+from repro.handoff.policies import AllBsesPolicy, BrrPolicy
+from repro.testbeds.traces import ProbeTrace
+
+
+def make_trace(n_slots=100, n_bs=4, seed=0):
+    rng = np.random.default_rng(seed)
+    up = rng.random((n_slots, n_bs)) < 0.6
+    down = rng.random((n_slots, n_bs)) < 0.6
+    rssi = np.where(down, -80.0, np.nan)
+    return ProbeTrace(list(range(1, n_bs + 1)), 0.1, up, down, rssi,
+                      np.zeros((n_slots, 2)))
+
+
+def test_density_monotone_for_oracle():
+    traces = [make_trace(seed=s) for s in range(2)]
+    rng = np.random.default_rng(1)
+    results = packets_per_day_by_density(
+        traces, lambda training: AllBsesPolicy(),
+        subset_sizes=(1, 2, 4), trials_per_size=3, rng=rng,
+    )
+    means = [results[size][0] for size in (1, 2, 4)]
+    assert means == sorted(means)
+
+
+def test_full_population_has_no_subset_variance():
+    traces = [make_trace()]
+    rng = np.random.default_rng(2)
+    results = packets_per_day_by_density(
+        traces, lambda training: AllBsesPolicy(),
+        subset_sizes=(4,), trials_per_size=5, rng=rng,
+    )
+    mean, half_width = results[4]
+    assert half_width == 0.0  # all trials use the same full subset
+    assert mean > 0
+
+
+def test_training_restricted_to_subset():
+    captured = []
+
+    def factory(training):
+        captured.append(training)
+        return BrrPolicy()
+
+    traces = [make_trace()]
+    rng = np.random.default_rng(3)
+    packets_per_day_by_density(
+        traces, factory, subset_sizes=(2,), trials_per_size=1, rng=rng,
+        training_traces=[make_trace(seed=9)],
+    )
+    (training,) = captured
+    assert training is not None
+    assert training[0].n_bs == 2
+
+
+def test_invalid_subset_size_rejected():
+    traces = [make_trace()]
+    rng = np.random.default_rng(4)
+    with pytest.raises(ValueError):
+        packets_per_day_by_density(
+            traces, lambda t: AllBsesPolicy(), subset_sizes=(9,),
+            trials_per_size=1, rng=rng,
+        )
+
+
+def test_empty_traces_rejected():
+    with pytest.raises(ValueError):
+        packets_per_day_by_density(
+            [], lambda t: AllBsesPolicy(), subset_sizes=(1,),
+            trials_per_size=1, rng=np.random.default_rng(0),
+        )

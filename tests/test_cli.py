@@ -1,0 +1,28 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import json
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_enumerates_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-an-experiment"])
+
+
+def test_fig05_runs_and_emits_json(capsys):
+    assert main(["fig05", "--seed", "3"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"VanLAN", "DieselNet Ch1", "DieselNet Ch6"}
+    for env in payload.values():
+        histogram = env["histogram(>=1 beacon)"]
+        assert sum(histogram) > 0

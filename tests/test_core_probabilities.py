@@ -1,0 +1,126 @@
+"""Unit tests for beacon-based reception-probability estimation."""
+
+import pytest
+
+from repro.core.probabilities import ReceptionEstimator
+from repro.net.packet import Beacon
+
+
+def beacon(sender, incoming=None, learned=None, t=0.0):
+    return Beacon(sender=sender, sent_at=t,
+                  incoming=incoming or {}, learned=learned or {})
+
+
+class TestFirstHandEstimation:
+    def test_full_reception_converges_to_one(self):
+        est = ReceptionEstimator(node_id=1, beacons_per_second=10)
+        for sec in range(8):
+            for k in range(10):
+                est.on_beacon(beacon(2), now=sec + k * 0.1)
+            est.tick_second(now=sec + 1.0)
+        assert est.incoming_probability(2) == pytest.approx(1.0, abs=0.01)
+
+    def test_exponential_average_half_life(self):
+        est = ReceptionEstimator(node_id=1, beacons_per_second=10,
+                                 alpha=0.5)
+        for k in range(10):
+            est.on_beacon(beacon(2), now=k * 0.1)
+        est.tick_second(now=1.0)
+        assert est.incoming_probability(2) == pytest.approx(0.5)
+        est.tick_second(now=2.0)  # silent second decays by half
+        assert est.incoming_probability(2) == pytest.approx(0.25)
+
+    def test_silent_peer_eventually_forgotten(self):
+        est = ReceptionEstimator(node_id=1, beacons_per_second=10,
+                                 forget_below=0.05)
+        for k in range(10):
+            est.on_beacon(beacon(2), now=k * 0.1)
+        for sec in range(1, 8):
+            est.tick_second(now=float(sec))
+        assert est.incoming_probability(2) == 0.0
+
+    def test_partial_reception_ratio(self):
+        est = ReceptionEstimator(node_id=1, beacons_per_second=10,
+                                 alpha=1.0)
+        for k in range(6):
+            est.on_beacon(beacon(2), now=k * 0.1)
+        est.tick_second(now=1.0)
+        assert est.incoming_probability(2) == pytest.approx(0.6)
+
+
+class TestDissemination:
+    def test_incoming_reports_teach_pair_probabilities(self):
+        est = ReceptionEstimator(node_id=3)
+        est.on_beacon(beacon(2, incoming={5: 0.7}), now=1.0)
+        assert est.probability(5, 2, now=1.5) == 0.7
+
+    def test_learned_reports_teach_outgoing(self):
+        est = ReceptionEstimator(node_id=3)
+        est.on_beacon(beacon(2, learned={7: 0.4}), now=1.0)
+        assert est.probability(2, 7, now=1.5) == 0.4
+
+    def test_own_outgoing_learned_from_peer(self):
+        """p(self -> peer) comes from the peer's incoming report."""
+        est = ReceptionEstimator(node_id=3)
+        est.on_beacon(beacon(2, incoming={3: 0.55}), now=1.0)
+        assert est.probability(3, 2, now=1.5) == 0.55
+
+    def test_stale_entries_distrusted(self):
+        est = ReceptionEstimator(node_id=3, stale_s=5.0)
+        est.on_beacon(beacon(2, incoming={5: 0.7}), now=1.0)
+        assert est.probability(5, 2, now=10.0) == 0.0
+
+    def test_first_hand_wins_for_own_incoming(self):
+        est = ReceptionEstimator(node_id=1, beacons_per_second=10,
+                                 alpha=1.0)
+        for k in range(10):
+            est.on_beacon(beacon(2), now=k * 0.1)
+        est.tick_second(now=1.0)
+        # A third party claims p(2 -> 1) is 0.1; our own estimate (1.0)
+        # must win.
+        est.on_beacon(beacon(9, learned={1: 0.1}), now=1.1)
+        assert est.probability(2, 1, now=1.2) == pytest.approx(1.0)
+
+    def test_self_probability_is_one(self):
+        est = ReceptionEstimator(node_id=1)
+        assert est.probability(1, 1, now=0.0) == 1.0
+
+    def test_unknown_pair_is_zero(self):
+        est = ReceptionEstimator(node_id=1)
+        assert est.probability(5, 6, now=0.0) == 0.0
+
+
+class TestBeaconReports:
+    def test_reports_round_trip(self):
+        est = ReceptionEstimator(node_id=1, beacons_per_second=10,
+                                 alpha=1.0)
+        for k in range(10):
+            est.on_beacon(beacon(2), now=k * 0.1)
+        est.tick_second(now=1.0)
+        est.on_beacon(beacon(2, incoming={1: 0.8}), now=1.1)
+        incoming, learned = est.beacon_reports(now=1.2)
+        assert incoming[2] == pytest.approx(1.0)
+        assert learned[2] == 0.8  # p(1 -> 2) learned from 2's beacon
+
+    def test_probability_lookup_binds_time(self):
+        est = ReceptionEstimator(node_id=3, stale_s=2.0)
+        est.on_beacon(beacon(2, incoming={5: 0.7}), now=0.0)
+        fresh = est.probability_lookup(now=1.0)
+        stale = est.probability_lookup(now=10.0)
+        assert fresh(5, 2) == 0.7
+        assert stale(5, 2) == 0.0
+
+
+class TestRecency:
+    def test_heard_recently(self):
+        est = ReceptionEstimator(node_id=1)
+        est.on_beacon(beacon(2), now=5.0)
+        assert est.heard_recently(2, now=6.0, within_s=2.0)
+        assert not est.heard_recently(2, now=9.0, within_s=2.0)
+        assert not est.heard_recently(3, now=5.0, within_s=2.0)
+
+    def test_peers_heard_within(self):
+        est = ReceptionEstimator(node_id=1)
+        est.on_beacon(beacon(2), now=1.0)
+        est.on_beacon(beacon(3), now=4.0)
+        assert set(est.peers_heard_within(now=4.5, within_s=2.0)) == {3}

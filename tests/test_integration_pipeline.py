@@ -1,0 +1,125 @@
+"""Cross-module integration tests: full pipelines at reduced scale.
+
+These stitch the layers together the way the benchmarks do — testbed ->
+traces -> policies, and testbed -> link table -> protocol -> apps — and
+check the paper's qualitative relationships hold end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.voip import VoipStream
+from repro.apps.workload import FlowRouter
+from repro.core.protocol import ViFiConfig
+from repro.experiments.common import (
+    dieselnet_protocol,
+    run_protocol_cbr,
+    vanlan_protocol,
+)
+from repro.handoff.evaluator import evaluate_policy
+from repro.handoff.policies import AllBsesPolicy, BrrPolicy, StickyPolicy
+from repro.sim.rng import RngRegistry
+from repro.testbeds.dieselnet import DieselNetTestbed
+from repro.testbeds.vanlan import VanLanTestbed
+
+
+@pytest.fixture(scope="module")
+def vanlan():
+    return VanLanTestbed(seed=31)
+
+
+@pytest.fixture(scope="module")
+def trace(vanlan):
+    return vanlan.generate_probe_trace(0)
+
+
+class TestTraceDrivenStudy:
+    def test_allbses_dominates_every_hard_policy(self, trace):
+        all_bs = evaluate_policy(trace, AllBsesPolicy())
+        for policy in (BrrPolicy(), StickyPolicy()):
+            hard = evaluate_policy(trace, policy)
+            assert all_bs.packets_delivered >= hard.packets_delivered
+
+    def test_allbses_is_union_upper_bound(self, trace):
+        """AllBSes delivery equals the union over BS columns."""
+        outcome = evaluate_policy(trace, AllBsesPolicy())
+        n = outcome.n_slots
+        assert np.array_equal(outcome.up_delivered,
+                              trace.up[:n].any(axis=1))
+        assert np.array_equal(outcome.down_delivered,
+                              trace.down[:n].any(axis=1))
+
+    def test_hard_policy_bounded_by_allbses_everywhere(self, trace):
+        brr = evaluate_policy(trace, BrrPolicy())
+        oracle = evaluate_policy(trace, AllBsesPolicy())
+        assert not (brr.up_delivered & ~oracle.up_delivered).any()
+        assert not (brr.down_delivered & ~oracle.down_delivered).any()
+
+
+class TestProtocolOverTestbed:
+    def test_vifi_delivery_beats_brr_on_same_trip(self, vanlan):
+        rates = {}
+        base = ViFiConfig()
+        for name, config in (("ViFi", base), ("BRR", base.brr_variant())):
+            sim, duration = vanlan_protocol(vanlan, trip=0, config=config,
+                                            seed=13)
+            cbr = run_protocol_cbr(sim, min(duration, 120.0))
+            rates[name] = cbr.delivery_rate()
+        assert rates["ViFi"] > rates["BRR"]
+
+    def test_protocol_statistics_consistent(self, vanlan):
+        sim, duration = vanlan_protocol(vanlan, trip=0, seed=13)
+        run_protocol_cbr(sim, min(duration, 90.0))
+        stats = sim.stats
+        # Every relayed delivery implies a relay decision happened.
+        relays = sum(1 for d in stats.relay_decisions if d[3])
+        relayed_deliveries = sum(
+            p.relay_delivered for p in stats.packet_records.values()
+        )
+        assert relayed_deliveries <= relays
+        # Delivered packets have a first-receive timestamp.
+        for record in stats.packet_records.values():
+            if record.delivered:
+                assert record.first_dst_receive is not None
+
+    def test_medium_accounting_matches_stats(self, vanlan):
+        from repro.net.packet import Direction
+        sim, duration = vanlan_protocol(vanlan, trip=0, seed=13)
+        run_protocol_cbr(sim, min(duration, 90.0))
+        up_tx_medium = sim.wireless_data_tx(Direction.UPSTREAM)
+        up_tx_stats = sum(
+            1 for t in sim.stats.tx_records.values()
+            if t.direction == Direction.UPSTREAM
+        )
+        # The medium sees every vehicle source transmission (no relays
+        # originate at the vehicle).
+        assert up_tx_medium == up_tx_stats
+
+
+class TestDieselNetPipeline:
+    def test_trace_driven_voip_runs_both_modes(self):
+        testbed = DieselNetTestbed(channel=1, seed=31)
+        log = testbed.generate_beacon_log(0)
+        for bursty in (False, True):
+            rngs = RngRegistry(3).spawn("mode", bursty)
+            sim, duration = dieselnet_protocol(log, rngs, seed=5,
+                                               bursty=bursty)
+            router = FlowRouter(sim)
+            stream = VoipStream(sim, router)
+            stream.start(3.0)
+            stream.stop(60.0)
+            sim.run(until=63.0)
+            assert stream.window_quality()
+
+    def test_unreachable_interbs_pairs_respected(self):
+        """Pairs never co-visible must never exchange frames."""
+        testbed = DieselNetTestbed(channel=1, seed=31)
+        log = testbed.generate_beacon_log(0)
+        covis = log.covisibility()
+        rngs = RngRegistry(3).spawn("covis")
+        from repro.testbeds.lossmap import build_link_table_from_log
+        table = build_link_table_from_log(log, rngs)
+        for i, a in enumerate(log.bs_ids):
+            for j, b in enumerate(log.bs_ids):
+                if i != j and not covis[i, j]:
+                    assert table.loss_rate(a, b, 0.0) == 1.0

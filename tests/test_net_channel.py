@@ -1,0 +1,146 @@
+"""Unit tests for loss processes."""
+
+import numpy as np
+import pytest
+
+from repro.net.channel import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    SteeredGilbertElliott,
+    TraceDrivenLoss,
+)
+from repro.sim.rng import RngRegistry
+
+
+def _rng(name="x"):
+    return RngRegistry(123).fresh(name)
+
+
+class TestBernoulliLoss:
+    def test_loss_rate_matches_parameter(self):
+        process = BernoulliLoss(0.3, _rng())
+        assert process.loss_rate(0.0) == 0.3
+
+    def test_empirical_rate_converges(self):
+        process = BernoulliLoss(0.3, _rng())
+        losses = sum(process.is_lost(t * 0.01) for t in range(20000))
+        assert 0.27 < losses / 20000 < 0.33
+
+    def test_extremes(self):
+        assert not BernoulliLoss(0.0, _rng()).is_lost(0)
+        assert BernoulliLoss(1.0, _rng()).is_lost(0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5, _rng())
+
+
+class TestGilbertElliott:
+    def test_stationary_loss_rate(self):
+        process = GilbertElliottLoss(
+            eps_good=0.1, eps_bad=0.9,
+            good_duration=1.0, bad_duration=0.25, rng=_rng(),
+        )
+        pi_bad = 0.25 / 1.25
+        expected = (1 - pi_bad) * 0.1 + pi_bad * 0.9
+        assert process.loss_rate(0.0) == pytest.approx(expected)
+
+    def test_empirical_rate_near_stationary(self):
+        process = GilbertElliottLoss(
+            eps_good=0.05, eps_bad=0.95,
+            good_duration=0.5, bad_duration=0.1, rng=_rng("ge"),
+        )
+        n = 50000
+        losses = sum(process.is_lost(t * 0.01) for t in range(n))
+        assert abs(losses / n - process.loss_rate(0)) < 0.03
+
+    def test_losses_are_bursty(self):
+        """Consecutive-loss probability must exceed the base rate."""
+        process = GilbertElliottLoss(
+            eps_good=0.02, eps_bad=1.0,
+            good_duration=1.0, bad_duration=0.15, rng=_rng("burst"),
+        )
+        outcomes = [process.is_lost(t * 0.01) for t in range(60000)]
+        arr = np.asarray(outcomes)
+        base = arr.mean()
+        after_loss = arr[1:][arr[:-1]].mean()
+        assert after_loss > 2.0 * base
+
+    def test_backwards_query_rejected(self):
+        process = GilbertElliottLoss(0.1, 0.9, 1.0, 0.1, _rng())
+        process.is_lost(5.0)
+        with pytest.raises(ValueError):
+            process.is_lost(1.0)
+
+    def test_invalid_durations_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(0.1, 0.9, 0.0, 0.1, _rng())
+
+
+class TestSteeredGilbertElliott:
+    def test_mean_tracks_target(self):
+        target = 0.35
+        process = SteeredGilbertElliott(lambda t: target, rng=_rng("st"))
+        n = 40000
+        losses = sum(process.is_lost(t * 0.01) for t in range(n))
+        assert abs(losses / n - target) < 0.03
+
+    def test_zero_target_never_loses(self):
+        process = SteeredGilbertElliott(lambda t: 0.0, rng=_rng())
+        assert not any(process.is_lost(t * 0.05) for t in range(1000))
+
+    def test_full_target_always_loses(self):
+        process = SteeredGilbertElliott(lambda t: 1.0, rng=_rng())
+        assert all(process.is_lost(t * 0.05) for t in range(1000))
+
+    def test_split_preserves_mean_when_bad_saturates(self):
+        process = SteeredGilbertElliott(lambda t: 0.9, rng=_rng())
+        eps_good, eps_bad = process._split(0.9)
+        pi_b = process._chain.pi_bad
+        mean = pi_b * eps_bad + (1 - pi_b) * eps_good
+        assert mean == pytest.approx(0.9, abs=1e-9)
+
+    def test_burstiness_preserved_under_steering(self):
+        process = SteeredGilbertElliott(lambda t: 0.25, rng=_rng("sb"))
+        outcomes = np.asarray(
+            [process.is_lost(t * 0.01) for t in range(60000)]
+        )
+        base = outcomes.mean()
+        after_loss = outcomes[1:][outcomes[:-1]].mean()
+        assert after_loss > 1.5 * base
+
+    def test_time_varying_target(self):
+        process = SteeredGilbertElliott(
+            lambda t: 0.0 if t < 10 else 1.0, rng=_rng()
+        )
+        early = [process.is_lost(t * 0.01) for t in range(500)]
+        late = [process.is_lost(15 + t * 0.01) for t in range(500)]
+        assert not any(early)
+        assert all(late)
+
+
+class TestTraceDrivenLoss:
+    def test_rates_indexed_by_second(self):
+        process = TraceDrivenLoss([0.0, 0.5, 1.0], rng=_rng())
+        assert process.loss_rate(0.5) == 0.0
+        assert process.loss_rate(1.2) == 0.5
+        assert process.loss_rate(2.9) == 1.0
+
+    def test_out_of_range_uses_default(self):
+        process = TraceDrivenLoss([0.2], rng=_rng(), out_of_range_rate=1.0)
+        assert process.loss_rate(5.0) == 1.0
+        assert process.loss_rate(-1.0) == 1.0
+
+    def test_t0_offset(self):
+        process = TraceDrivenLoss([0.0, 1.0], rng=_rng(), t0=100.0)
+        assert process.loss_rate(100.5) == 0.0
+        assert process.loss_rate(101.5) == 1.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TraceDrivenLoss([0.5, 1.2], rng=_rng())
+
+    def test_sampling_respects_rates(self):
+        process = TraceDrivenLoss([0.0, 1.0], rng=_rng())
+        assert not any(process.is_lost(0.0 + k * 0.001) for k in range(500))
+        assert all(process.is_lost(1.0 + k * 0.001) for k in range(500))

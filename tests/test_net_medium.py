@@ -1,0 +1,198 @@
+"""Unit tests for the wireless medium and the backplane."""
+
+import pytest
+
+from repro.net.backplane import Backplane
+from repro.net.channel import BernoulliLoss
+from repro.net.medium import LinkTable, WirelessMedium
+from repro.net.packet import Ack, DataPacket, Direction
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class Node:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+        self.completed = []
+
+    def on_receive(self, frame, transmitter_id):
+        self.received.append((frame, transmitter_id))
+
+    def on_transmit_complete(self, frame):
+        self.completed.append(frame)
+
+
+def _setup(loss=0.0, n_nodes=3):
+    sim = Simulator()
+    rngs = RngRegistry(5)
+    table = LinkTable()
+    nodes = [Node(i) for i in range(n_nodes)]
+    for a in range(n_nodes):
+        for b in range(n_nodes):
+            if a != b:
+                table.set_link(a, b, BernoulliLoss(
+                    loss, rngs.stream("l", a, b)))
+    medium = WirelessMedium(sim, table, rngs.stream("m"))
+    for node in nodes:
+        medium.attach(node)
+    return sim, medium, nodes
+
+
+def _packet(src, dst, pkt_id=0, size=500):
+    return DataPacket(pkt_id=pkt_id, src=src, dst=dst,
+                      direction=Direction.UPSTREAM, size_bytes=size)
+
+
+class TestWirelessMedium:
+    def test_broadcast_reaches_all_reachable_nodes(self):
+        sim, medium, nodes = _setup(loss=0.0)
+        medium.send(0, _packet(0, 1))
+        sim.run(until=1.0)
+        assert len(nodes[1].received) == 1
+        assert len(nodes[2].received) == 1  # overhearing
+        assert len(nodes[0].received) == 0  # not self
+
+    def test_unreachable_pairs_never_deliver(self):
+        sim = Simulator()
+        rngs = RngRegistry(5)
+        table = LinkTable()
+        nodes = [Node(0), Node(1)]
+        medium = WirelessMedium(sim, table, rngs.stream("m"))
+        for node in nodes:
+            medium.attach(node)
+        medium.send(0, _packet(0, 1))
+        sim.run(until=1.0)
+        assert nodes[1].received == []
+
+    def test_total_loss_blocks_delivery(self):
+        sim, medium, nodes = _setup(loss=1.0)
+        medium.send(0, _packet(0, 1))
+        sim.run(until=1.0)
+        assert nodes[1].received == []
+
+    def test_airtime_includes_preamble(self):
+        _, medium, _ = _setup()
+        airtime = medium.airtime(500)
+        assert airtime == pytest.approx(192e-6 + 500 * 8 / 1e6)
+
+    def test_transmit_complete_callback(self):
+        sim, medium, nodes = _setup()
+        medium.send(0, _packet(0, 1))
+        sim.run(until=1.0)
+        assert len(nodes[0].completed) == 1
+
+    def test_frames_serialize_fifo_per_sender(self):
+        sim, medium, nodes = _setup()
+        for i in range(5):
+            medium.send(0, _packet(0, 1, pkt_id=i))
+        sim.run(until=1.0)
+        ids = [f.pkt_id for f, _ in nodes[1].received]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_priority_frames_jump_queue(self):
+        sim, medium, nodes = _setup()
+        for i in range(3):
+            medium.send(0, _packet(0, 1, pkt_id=i))
+        ack = Ack(pkt_id=99, acker=0, for_src=1)
+        medium.send(0, ack, priority=True)
+        sim.run(until=1.0)
+        kinds = [f.kind.value for f, _ in nodes[1].received]
+        # The ack cannot beat the frame already in backoff but must
+        # precede the remaining queued data.
+        assert "ack" in kinds
+        assert kinds.index("ack") <= 1
+
+    def test_tx_counters(self):
+        sim, medium, nodes = _setup()
+        medium.send(0, _packet(0, 1))
+        medium.send(1, _packet(1, 0))
+        sim.run(until=1.0)
+        assert medium.transmissions() == 2
+        assert medium.transmissions(node_id=0) == 1
+        assert medium.transmissions(kind="data") == 2
+        assert medium.transmissions(kind="ack") == 0
+
+    def test_carrier_sense_defers_concurrent_senders(self):
+        sim, medium, nodes = _setup()
+        medium.send(0, _packet(0, 1, size=1400))
+        medium.send(1, _packet(1, 0, size=1400))
+        sim.run(until=1.0)
+        # Both frames deliver despite starting together: the second
+        # sender deferred, so no collision destroyed them.
+        assert len(nodes[2].received) == 2
+
+    def test_duplicate_attach_rejected(self):
+        sim, medium, nodes = _setup()
+        with pytest.raises(ValueError):
+            medium.attach(nodes[0])
+
+    def test_unknown_transmitter_rejected(self):
+        sim, medium, _ = _setup()
+        with pytest.raises(KeyError):
+            medium.send(99, _packet(99, 0))
+
+
+class TestLinkTable:
+    def test_symmetric_registration(self):
+        table = LinkTable()
+        process = BernoulliLoss(0.5, RngRegistry(1).stream("x"))
+        table.set_link(1, 2, process, symmetric=True)
+        assert table.get(1, 2) is process
+        assert table.get(2, 1) is process
+
+    def test_factory_creates_on_demand(self):
+        calls = []
+
+        def factory(src, dst):
+            calls.append((src, dst))
+            return BernoulliLoss(0.0, RngRegistry(1).stream("f", src, dst))
+
+        table = LinkTable(factory=factory)
+        assert table.get(3, 4) is not None
+        assert table.get(3, 4) is not None  # cached
+        assert calls == [(3, 4)]
+
+    def test_loss_rate_for_missing_link_is_one(self):
+        table = LinkTable()
+        assert table.loss_rate(1, 2, 0.0) == 1.0
+
+
+class TestBackplane:
+    def test_delivery_after_serialization_and_latency(self):
+        sim = Simulator()
+        bp = Backplane(sim, bandwidth_bps=1e6, latency_s=0.01)
+        bp.connect(1)
+        bp.connect(2)
+        seen = []
+        arrival = bp.send(1, 2, "msg", 1000, seen.append)
+        assert arrival == pytest.approx(1000 * 8 / 1e6 + 0.01)
+        sim.run(until=1.0)
+        assert seen == ["msg"]
+
+    def test_uplink_serializes_messages(self):
+        sim = Simulator()
+        bp = Backplane(sim, bandwidth_bps=1e6, latency_s=0.0)
+        for bs in (1, 2):
+            bp.connect(bs)
+        first = bp.send(1, 2, "a", 1000, lambda m: None)
+        second = bp.send(1, 2, "b", 1000, lambda m: None)
+        assert second == pytest.approx(first + 1000 * 8 / 1e6)
+
+    def test_unknown_member_rejected(self):
+        sim = Simulator()
+        bp = Backplane(sim)
+        bp.connect(1)
+        with pytest.raises(KeyError):
+            bp.send(1, 9, "x", 10, lambda m: None)
+
+    def test_byte_accounting_by_category(self):
+        sim = Simulator()
+        bp = Backplane(sim)
+        bp.connect(1)
+        bp.connect(2)
+        bp.send(1, 2, "x", 500, lambda m: None, category="relay")
+        bp.send(1, 2, "y", 300, lambda m: None, category="salvage")
+        assert bp.total_bytes("relay") == 500
+        assert bp.total_bytes("salvage") == 300
+        assert bp.total_bytes() == 800

@@ -1,0 +1,89 @@
+"""Unit tests for routes and vehicle motion."""
+
+import math
+
+import pytest
+
+from repro.net.mobility import (
+    Route,
+    StationaryPosition,
+    VehicleMotion,
+    gps_samples,
+)
+
+
+class TestRoute:
+    def test_straight_line_kinematics(self):
+        route = Route([(0, 0), (100, 0)], speed_mps=10.0)
+        assert route.duration == pytest.approx(10.0)
+        assert route.position_at(0.0) == (0.0, 0.0)
+        assert route.position_at(5.0) == (50.0, 0.0)
+        assert route.position_at(10.0) == (100.0, 0.0)
+
+    def test_position_clamps_after_arrival(self):
+        route = Route([(0, 0), (100, 0)], speed_mps=10.0)
+        assert route.position_at(999.0) == (100.0, 0.0)
+
+    def test_multi_segment_path_length(self):
+        route = Route([(0, 0), (30, 40), (30, 140)], speed_mps=10.0)
+        assert route.path_length == pytest.approx(50 + 100)
+        assert route.duration == pytest.approx(15.0)
+
+    def test_dwell_pauses_motion(self):
+        route = Route([(0, 0), (100, 0)], speed_mps=10.0,
+                      stop_durations={0: 5.0})
+        assert route.position_at(3.0) == (0.0, 0.0)
+        assert route.position_at(10.0) == (50.0, 0.0)
+        assert route.duration == pytest.approx(15.0)
+
+    def test_loop_wraps_around(self):
+        route = Route([(0, 0), (100, 0)], speed_mps=10.0, loop=True)
+        # Looping closes the polygon: 0->100->0, 20 s per lap.
+        x0, _ = route.position_at(2.0)
+        x1, _ = route.position_at(2.0 + route.duration)
+        assert x0 == pytest.approx(x1)
+
+    def test_too_few_waypoints_rejected(self):
+        with pytest.raises(ValueError):
+            Route([(0, 0)])
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Route([(0, 0), (1, 1)], speed_mps=0.0)
+
+    def test_negative_time_rejected(self):
+        route = Route([(0, 0), (1, 1)])
+        with pytest.raises(ValueError):
+            route.position_at(-0.1)
+
+
+class TestVehicleMotion:
+    def test_waits_until_departure(self):
+        motion = VehicleMotion(Route([(0, 0), (100, 0)], 10.0),
+                               depart_at=5.0)
+        assert motion(2.0) == (0.0, 0.0)
+        assert motion(10.0) == (50.0, 0.0)
+
+    def test_speed_estimate(self):
+        motion = VehicleMotion(Route([(0, 0), (1000, 0)], 10.0))
+        assert motion.speed_at(50.0) == pytest.approx(10.0, rel=0.05)
+
+    def test_speed_zero_when_parked(self):
+        motion = VehicleMotion(Route([(0, 0), (100, 0)], 10.0))
+        assert motion.speed_at(500.0) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestGps:
+    def test_one_hertz_samples(self):
+        motion = VehicleMotion(Route([(0, 0), (100, 0)], 10.0))
+        fixes = list(gps_samples(motion, 0.0, 5.0))
+        assert len(fixes) == 6
+        times = [t for t, _, _ in fixes]
+        assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert fixes[3][1] == pytest.approx(30.0)
+
+    def test_stationary_position(self):
+        pos = StationaryPosition(3.0, 4.0)
+        assert pos(0.0) == (3.0, 4.0)
+        assert pos(100.0) == (3.0, 4.0)
+        assert math.hypot(*pos(5.0)) == pytest.approx(5.0)

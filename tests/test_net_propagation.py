@@ -1,0 +1,169 @@
+"""Unit tests for the propagation model."""
+
+import math
+
+import pytest
+
+from repro.net.mobility import StationaryPosition
+from repro.net.propagation import (
+    GrayPeriodProcess,
+    LinkModel,
+    RadioProfile,
+    Shadowing,
+    SpatialField,
+)
+from repro.sim.rng import RngRegistry
+
+
+def _rng(name="p"):
+    return RngRegistry(7).fresh(name)
+
+
+class TestRadioProfile:
+    def test_rssi_decreases_with_distance(self):
+        profile = RadioProfile()
+        assert profile.mean_rssi(10) > profile.mean_rssi(100)
+        assert profile.mean_rssi(100) > profile.mean_rssi(500)
+
+    def test_rssi_clamps_below_one_metre(self):
+        profile = RadioProfile()
+        assert profile.mean_rssi(0.1) == profile.mean_rssi(1.0)
+
+    def test_reception_monotone_in_rssi(self):
+        profile = RadioProfile()
+        probs = [profile.reception_prob(r) for r in (-95, -88, -80)]
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_reception_midpoint(self):
+        profile = RadioProfile(decode_mid_dbm=-88.0, max_reception=1.0)
+        assert profile.reception_prob(-88.0) == pytest.approx(0.5)
+
+    def test_noise_floor_blocks_reception(self):
+        profile = RadioProfile(noise_floor_dbm=-100.0)
+        assert profile.reception_prob(-101.0) == 0.0
+
+    def test_max_reception_caps_curve(self):
+        profile = RadioProfile(max_reception=0.8)
+        assert profile.reception_prob(0.0) == pytest.approx(0.8)
+
+    def test_extreme_arguments_do_not_overflow(self):
+        profile = RadioProfile()
+        assert profile.reception_prob(200.0) == profile.max_reception
+        assert profile.reception_prob(-99.9) >= 0.0
+
+
+class TestShadowing:
+    def test_stationary_variance(self):
+        shadowing = Shadowing(sigma_db=6.0, tau_s=10.0, rng=_rng("sh"))
+        samples = [shadowing.value_db(float(t)) for t in range(5000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert abs(mean) < 1.0
+        assert 0.5 * 36 < var < 1.5 * 36
+
+    def test_temporal_correlation_decays(self):
+        shadowing = Shadowing(sigma_db=6.0, tau_s=10.0, rng=_rng("sc"))
+        a = shadowing.value_db(100.0)
+        near = shadowing.value_db(100.5)
+        assert abs(a - near) < 6.0  # strongly correlated nearby
+
+    def test_interpolation_continuous(self):
+        shadowing = Shadowing(sigma_db=6.0, tau_s=5.0, rng=_rng("si"))
+        v1 = shadowing.value_db(3.49)
+        v2 = shadowing.value_db(3.51)
+        assert abs(v1 - v2) < 1.0
+
+    def test_negative_time_rejected(self):
+        shadowing = Shadowing(6.0, 5.0, _rng())
+        with pytest.raises(ValueError):
+            shadowing.value_db(-1.0)
+
+
+class TestSpatialField:
+    def test_deterministic_for_same_stream(self):
+        a = SpatialField(4.0, 50.0, _rng("f"))
+        b = SpatialField(4.0, 50.0, _rng("f"))
+        assert a.value_db(10, 20) == b.value_db(10, 20)
+
+    def test_spatial_correlation(self):
+        field = SpatialField(4.0, 80.0, _rng("fc"))
+        near = abs(field.value_db(100, 100) - field.value_db(103, 100))
+        assert near < 2.0  # 3 m apart, well inside correlation length
+
+    def test_variance_scale(self):
+        field = SpatialField(4.0, 30.0, _rng("fv"), n_terms=96)
+        values = [field.value_db(x * 17.3, x * 9.1) for x in range(2000)]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert 0.4 * 16 < var < 1.8 * 16
+
+
+class TestGrayPeriods:
+    def test_no_events_at_zero_rate(self):
+        gray = GrayPeriodProcess(0.0, 2.0, _rng())
+        assert not any(gray.in_gray(t * 10.0) for t in range(100))
+
+    def test_fraction_of_time_matches_rate(self):
+        gray = GrayPeriodProcess(1.0 / 20.0, 2.0, _rng("g"))
+        in_gray = sum(gray.in_gray(t * 0.5) for t in range(20000))
+        fraction = in_gray / 20000
+        # Expected duty cycle ~ rate * duration = 0.1.
+        assert 0.05 < fraction < 0.2
+
+    def test_periods_are_contiguous(self):
+        gray = GrayPeriodProcess(1.0 / 10.0, 5.0, _rng("gc"))
+        flags = [gray.in_gray(t * 0.1) for t in range(5000)]
+        # Count transitions; with mean duration 5 s there should be far
+        # fewer transitions than gray samples.
+        transitions = sum(
+            1 for a, b in zip(flags, flags[1:]) if a != b
+        )
+        assert transitions < sum(flags) / 5
+
+
+class TestLinkModel:
+    def _link(self, distance, **kwargs):
+        profile = RadioProfile()
+        return LinkModel(
+            profile,
+            StationaryPosition(0, 0),
+            StationaryPosition(distance, 0),
+            **kwargs,
+        )
+
+    def test_distance(self):
+        link = self._link(120.0)
+        assert link.distance(0.0) == pytest.approx(120.0)
+
+    def test_reception_prob_decreases_with_distance(self):
+        near = self._link(50.0).reception_prob(0.0)
+        far = self._link(300.0).reception_prob(0.0)
+        assert near > far
+
+    def test_gray_period_collapses_reception(self):
+        class AlwaysGray:
+            def in_gray(self, t):
+                return True
+
+        link = self._link(30.0, gray=AlwaysGray())
+        assert link.reception_prob(0.0) <= \
+            link.profile.gray_residual_reception
+
+    def test_loss_prob_complements_reception(self):
+        link = self._link(100.0)
+        assert link.loss_prob(0.0) == pytest.approx(
+            1.0 - link.reception_prob(0.0)
+        )
+
+    def test_moving_endpoint_changes_distance(self):
+        profile = RadioProfile()
+        link = LinkModel(
+            profile,
+            StationaryPosition(0, 0),
+            lambda t: (t * 10.0, 0.0),
+        )
+        assert link.distance(1.0) == pytest.approx(10.0)
+        assert link.distance(10.0) == pytest.approx(100.0)
+        assert math.isclose(
+            link.rssi(1.0), profile.mean_rssi(10.0), abs_tol=1e-9
+        )
