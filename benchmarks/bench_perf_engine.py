@@ -1,0 +1,82 @@
+"""Perf engine benchmark: events/sec on pinned protocol workloads.
+
+Not a paper figure — the engineering benchmark behind the ROADMAP's
+"as fast as the hardware allows" goal.  Measures the event-processing
+rate of the pinned VanLAN and DieselNet CBR workloads (see
+``repro.experiments.perf``), writes the tracked ``BENCH_perf.json`` at
+the repository root, and asserts:
+
+* the fast path clears the 4x speedup target on the 120 s VanLAN CBR
+  run against the recorded seed baseline, and
+* the ``LinkStateCache(quantum_s=0)`` path is bit-for-bit equivalent to
+  the uncached link model (identical delivery sequence and event
+  count), so the speed comes from caching, not from changed physics.
+"""
+
+from conftest import print_table
+
+from repro.experiments.common import run_protocol_cbr, vanlan_protocol
+from repro.experiments.perf import (
+    TARGET_SPEEDUP,
+    run_perf_suite,
+    write_bench_file,
+)
+from repro.testbeds.vanlan import VanLanTestbed
+
+
+def _delivery_signature(cache_quantum_s, duration_s=60.0):
+    """Delivery sequence + event count of a pinned run."""
+    testbed = VanLanTestbed(seed=0)
+    motion = testbed.vehicle_motion()
+    table = testbed.build_link_table(0, motion,
+                                    cache_quantum_s=cache_quantum_s)
+    from repro.core.protocol import ViFiSimulation
+    from repro.testbeds.vanlan import VEHICLE_ID
+
+    sim = ViFiSimulation(testbed.deployment.bs_ids, table, seed=0,
+                         vehicle_id=VEHICLE_ID)
+    cbr = run_protocol_cbr(sim, duration_s)
+    sequence = (sorted(cbr.up_deliveries.items()),
+                sorted(cbr.down_deliveries.items()))
+    return sequence, sim.sim.events_processed
+
+
+def test_perf_engine(benchmark, save_results):
+    results = benchmark.pedantic(
+        lambda: run_perf_suite(repeats=2), rounds=1, iterations=1
+    )
+    rows = [
+        (r["workload"], float(r["wall_s"]), float(r["events"]),
+         float(r["events_per_s"]),
+         float(r.get("speedup_vs_baseline", 0.0)))
+        for r in results
+    ]
+    print_table("Perf engine: pinned workloads", rows,
+                headers=["wall (s)", "events", "ev/s", "speedup"])
+    write_bench_file(results)
+    save_results("perf_engine", {r["workload"]: r for r in results})
+
+    by_name = {r["workload"]: r for r in results}
+    vanlan = by_name["vanlan_cbr_120s"]
+    # The tentpole acceptance bar: >= 4x events/sec on the 120 s VanLAN
+    # CBR run against the recorded seed baseline.
+    assert vanlan["speedup_vs_baseline"] >= TARGET_SPEEDUP, (
+        f"fast path too slow: {vanlan['speedup_vs_baseline']}x "
+        f"< {TARGET_SPEEDUP}x"
+    )
+    # The trace-driven workload must never regress below the seed.
+    dieselnet = by_name["dieselnet_cbr_60s"]
+    assert dieselnet["speedup_vs_baseline"] >= 1.0
+
+
+def test_quantum_zero_is_bitwise_identical(save_results):
+    cached_seq, cached_events = _delivery_signature(cache_quantum_s=0.0)
+    raw_seq, raw_events = _delivery_signature(cache_quantum_s=None)
+    assert cached_events == raw_events
+    assert cached_seq == raw_seq
+    deliveries = len(cached_seq[0]) + len(cached_seq[1])
+    assert deliveries > 100  # the run actually delivered traffic
+    save_results("perf_determinism", {
+        "events": cached_events,
+        "deliveries": deliveries,
+    })

@@ -5,11 +5,17 @@ Usage::
     python -m repro list
     python -m repro fig07 [--seed N]
     python -m repro table1
+    python -m repro bench
 
 Each experiment prints the same rows/series as the corresponding paper
 artifact at a reduced scale.  For the full benchmark harness (with
 shape assertions and JSON outputs) use
 ``pytest benchmarks/ --benchmark-only``.
+
+``bench`` runs the pinned performance workloads, rewrites the tracked
+``BENCH_perf.json``, and exits non-zero on a >20% events/sec
+regression against the committed numbers (see ``tools/perf_smoke.py``
+for the flags).
 """
 
 import argparse
@@ -109,14 +115,31 @@ def main(argv=None):
         description="Run a reduced-scale ViFi paper experiment.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["list"],
-                        help="experiment id, or 'list' to enumerate")
+                        choices=sorted(EXPERIMENTS) + ["bench", "list"],
+                        help="experiment id, 'bench' for the perf "
+                             "smoke, or 'list' to enumerate")
     parser.add_argument("--seed", type=int, default=7,
                         help="root seed (default 7)")
-    args = parser.parse_args(argv)
+    args, extra = parser.parse_known_args(argv)
+    if extra and args.experiment != "bench":
+        parser.error(f"unrecognized arguments: {' '.join(extra)}")
+
+    if args.experiment == "bench":
+        import importlib.util
+        import pathlib
+        smoke = (pathlib.Path(__file__).resolve().parents[2]
+                 / "tools" / "perf_smoke.py")
+        spec = importlib.util.spec_from_file_location("perf_smoke", smoke)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.main(extra)
 
     if args.experiment == "list":
         for name, (_, description) in sorted(EXPERIMENTS.items()):
+            print(f"{name:<10s} {description}")
+        for name, description in (
+            ("bench", "pinned perf workloads -> BENCH_perf.json"),
+        ):
             print(f"{name:<10s} {description}")
         return 0
 

@@ -26,6 +26,7 @@ import itertools
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
+from repro.core.relaying import RelayContext
 from repro.net.packet import Ack, Beacon, DataPacket, Direction, FrameKind
 
 __all__ = ["BasestationNode", "LinkSender", "VehicleNode"]
@@ -33,6 +34,12 @@ __all__ = ["BasestationNode", "LinkSender", "VehicleNode"]
 #: Number of recently received pkt_ids remembered per peer for
 #: de-duplication and bitmap construction.
 _RECEIVE_MEMORY = 512
+
+# Frame-kind members bound at module level: reception dispatch runs for
+# every delivered frame.
+_BEACON = FrameKind.BEACON
+_DATA = FrameKind.DATA
+_ACK = FrameKind.ACK
 
 
 class _ReceiverState:
@@ -347,12 +354,13 @@ class _NodeBase:
     # -- reception dispatch ----------------------------------------------
 
     def on_receive(self, frame, transmitter_id):
-        if frame.kind is FrameKind.BEACON:
+        kind = frame.kind
+        if kind is _BEACON:
             self.estimator.on_beacon(frame, self.ctx.sim.now)
             self.on_beacon(frame)
-        elif frame.kind is FrameKind.DATA:
+        elif kind is _DATA:
             self.on_data(frame)
-        elif frame.kind is FrameKind.ACK:
+        elif kind is _ACK:
             self.on_ack_frame(frame)
 
     def on_beacon(self, beacon):
@@ -672,11 +680,16 @@ class BasestationNode(_NodeBase):
         if heard_at is not None or self.node_id in self.known_aux:
             self.ctx.stats.on_aux_heard_ack(key, self.node_id)
         self._suppress(key, now)
-        missing = set(ack.missing_ids())
+        bitmap = ack.missing_bitmap
+        for_src = ack.for_src
+        suppressed = self._relay_suppressed
+        store = self._relay_store
         for k in range(8):
             candidate = ack.pkt_id - 1 - k
-            if candidate >= 0 and candidate not in missing:
-                self._suppress((ack.for_src, candidate), now)
+            if candidate >= 0 and not bitmap & (1 << k):
+                earlier = (for_src, candidate)
+                suppressed[earlier] = now
+                store.pop(earlier, None)
 
     def _suppress(self, key, now):
         self._relay_suppressed[key] = now
@@ -710,7 +723,6 @@ class BasestationNode(_NodeBase):
         ctx = self.ctx
         aux_ids = self.known_aux
         strategy = ctx.relay_strategy
-        from repro.core.relaying import RelayContext
         probability = strategy.relay_probability(RelayContext(
             self_id=self.node_id,
             aux_ids=tuple(a for a in aux_ids

@@ -43,27 +43,41 @@ class ReceptionEstimator:
         self._heard_this_second = {}
         self._incoming = {}
         self._last_heard = {}
-        self._table = {}
+        # Dissemination state is the latest report maps of each sender,
+        # stored by reference: ``sender -> (arrived_at, incoming,
+        # learned)``.  Ingesting a beacon is then O(1) instead of
+        # merging every embedded entry into a tuple-keyed table (the
+        # old scheme burned ~6% of a protocol run hashing pair keys),
+        # and memory stays bounded by the node count.  Queries combine
+        # the two possible sources for ``p(a -> b)`` — b's first-hand
+        # ``incoming[a]`` and a's second-hand ``learned[b]`` — newest
+        # fresh report winning, which matches the merged-table
+        # behaviour except that an entry a sender stopped reporting
+        # expires with that sender's next beacon rather than lingering
+        # until ``stale_s`` (such entries had already decayed to ~0).
+        self._reports = {}
+        # This node's outgoing quality p(self -> peer) as last reported
+        # by each peer, for beacon construction.
+        self._outgoing = {}
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
 
     def on_beacon(self, beacon, now):
-        """Digest one received beacon: count it and merge its reports."""
+        """Digest one received beacon: count it and keep its reports."""
         sender = beacon.sender
-        self._heard_this_second[sender] = (
-            self._heard_this_second.get(sender, 0) + 1
-        )
+        heard = self._heard_this_second
+        heard[sender] = heard.get(sender, 0) + 1
         self._last_heard[sender] = now
+        self._reports[sender] = (now, beacon.incoming, beacon.learned)
         # Reports about this node itself are kept too: the sender's
         # ``incoming[self]`` is p(self -> sender), i.e. this node's own
         # *outgoing* quality, which it cannot measure first-hand and
         # which the relay computation needs (p(Bx -> dst)).
-        for peer, prob in beacon.incoming.items():
-            self._table[(peer, sender)] = (float(prob), now)
-        for peer, prob in beacon.learned.items():
-            self._table[(sender, peer)] = (float(prob), now)
+        mine = beacon.incoming.get(self.node_id)
+        if mine is not None:
+            self._outgoing[sender] = (mine, now)
 
     def tick_second(self, now):
         """Fold the elapsed second into the exponential averages.
@@ -122,13 +136,22 @@ class ReceptionEstimator:
             return 1.0
         if b == self.node_id:
             return self._incoming.get(a, 0.0)
-        entry = self._table.get((a, b))
-        if entry is None:
-            return 0.0
-        prob, ts = entry
-        if now - ts > self.stale_s:
-            return 0.0
-        return prob
+        stale_s = self.stale_s
+        reports = self._reports
+        best = 0.0
+        best_ts = None
+        from_b = reports.get(b)
+        if from_b is not None and now - from_b[0] <= stale_s:
+            prob = from_b[1].get(a)
+            if prob is not None:
+                best = prob
+                best_ts = from_b[0]
+        from_a = reports.get(a)
+        if from_a is not None and now - from_a[0] <= stale_s:
+            prob = from_a[2].get(b)
+            if prob is not None and (best_ts is None or from_a[0] > best_ts):
+                best = prob
+        return best
 
     def probability_lookup(self, now):
         """A ``(a, b) -> p`` callable bound to the current time."""
@@ -148,8 +171,10 @@ class ReceptionEstimator:
         knowledge of its own outgoing quality ``p(self -> peer)``.
         """
         incoming = dict(self._incoming)
-        learned = {}
-        for (a, b), (prob, ts) in self._table.items():
-            if a == self.node_id and now - ts <= self.stale_s:
-                learned[b] = prob
+        stale_s = self.stale_s
+        learned = {
+            b: prob
+            for b, (prob, ts) in self._outgoing.items()
+            if now - ts <= stale_s
+        }
         return incoming, learned

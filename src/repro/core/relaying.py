@@ -104,10 +104,12 @@ class ViFiRelayStrategy(RelayStrategy):
         sensible default when a lone BS has no peer information.
         """
         p = ctx.p
+        src, dst = ctx.src, ctx.dst
+        p_src_dst = p(src, dst)  # loop-invariant factor of Eq. 3
         denominator = 0.0
         for aux in ctx.aux_ids:
-            c_i = contention_probability(p, ctx.src, ctx.dst, aux)
-            denominator += c_i * p(aux, ctx.dst)
+            c_i = p(src, aux) * (1.0 - p_src_dst * p(dst, aux))
+            denominator += c_i * p(aux, dst)
         if denominator <= 0.0:
             return 1.0
         own = p(ctx.self_id, ctx.dst)

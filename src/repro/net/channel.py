@@ -25,6 +25,8 @@ Three processes are provided:
 
 import math
 
+from repro.sim.rng import BufferedUniforms
+
 __all__ = [
     "BernoulliLoss",
     "GilbertElliottLoss",
@@ -35,7 +37,15 @@ __all__ = [
 
 
 class LossProcess:
-    """Interface: decide whether a transmission at time *t* is lost."""
+    """Interface: decide whether a transmission at time *t* is lost.
+
+    ``static_loss_rate`` is the expected loss rate when it never
+    changes over time, else ``None``.  The reachability index of
+    :class:`~repro.net.medium.LinkTable` classifies such links once
+    instead of re-evaluating them on every refresh.
+    """
+
+    static_loss_rate = None
 
     def is_lost(self, t):
         """Return True if a packet sent at time *t* is lost."""
@@ -47,16 +57,24 @@ class LossProcess:
 
 
 class BernoulliLoss(LossProcess):
-    """Independent losses with a fixed probability."""
+    """Independent losses with a fixed probability.
 
-    def __init__(self, p, rng):
+    Uniform draws are served from pre-drawn numpy blocks (see
+    :class:`~repro.sim.rng.BufferedUniforms`), which is bit-for-bit
+    identical to scalar draws as long as *rng* has no other consumers.
+    Pass ``batch=1`` to disable buffering for a shared stream.
+    """
+
+    def __init__(self, p, rng, batch=64):
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"loss probability {p} outside [0, 1]")
         self.p = float(p)
+        self.static_loss_rate = self.p
         self.rng = rng
+        self._draw = BufferedUniforms(rng, block=batch).next
 
     def is_lost(self, t):
-        return bool(self.rng.random() < self.p)
+        return self._draw() < self.p
 
     def loss_rate(self, t):
         return self.p
@@ -94,6 +112,9 @@ class GilbertElliottLoss(LossProcess):
         mean = self.bad_duration if self._in_bad else self.good_duration
         self._next_flip = start_time + rng.exponential(mean)
         self._time = start_time
+        self.static_loss_rate = (
+            self.pi_bad * self.eps_bad + (1 - self.pi_bad) * self.eps_good
+        )
 
     @property
     def pi_bad(self):
@@ -121,7 +142,7 @@ class GilbertElliottLoss(LossProcess):
         return bool(self.rng.random() < eps)
 
     def loss_rate(self, t):
-        return self.pi_bad * self.eps_bad + (1 - self.pi_bad) * self.eps_good
+        return self.static_loss_rate
 
 
 class SteeredGilbertElliott(LossProcess):
@@ -139,11 +160,20 @@ class SteeredGilbertElliott(LossProcess):
     where ``rho`` is the good/bad loss ratio (small, e.g. 0.1).  When
     the target is so lossy that ``eps_bad`` clips at 1, the remainder is
     pushed into the good state, preserving the mean exactly.
+
+    ``mean_loss`` may also be a plain float for links whose target rate
+    never changes (e.g. static BS-BS links): the per-state split is then
+    computed once instead of per query.
+
+    Per-packet uniform draws are batched (``batch`` draws per numpy
+    call) to amortize generator dispatch overhead.  Because the chain's
+    holding-time draws interleave on the same stream, batching yields a
+    different — statistically equivalent — realization than unbatched
+    scalar draws; pass ``batch=1`` for the legacy draw-by-draw stream.
     """
 
     def __init__(self, mean_loss, rng, good_duration=0.9, bad_duration=0.12,
-                 rho=0.08, start_time=0.0):
-        self.mean_loss = mean_loss
+                 rho=0.08, start_time=0.0, batch=64):
         self.rho = float(rho)
         self._chain = GilbertElliottLoss(
             eps_good=0.0,
@@ -154,6 +184,22 @@ class SteeredGilbertElliott(LossProcess):
             start_time=start_time,
         )
         self.rng = rng
+        self._block = max(int(batch), 1)
+        self._buf = ()
+        self._buf_i = 0
+        # The split depends only on the target mean (pi_bad is fixed),
+        # and the target is piecewise-constant in practice (cached link
+        # state, per-second traces), so memoize the last split.
+        self._last_m = None
+        self._last_split = (0.0, 0.0)
+        if callable(mean_loss):
+            self.mean_loss = mean_loss
+            self._static_eps = None
+        else:
+            rate = min(max(float(mean_loss), 0.0), 1.0)
+            self.mean_loss = lambda t, rate=rate: rate
+            self._static_eps = self._split(rate)
+            self.static_loss_rate = rate
 
     def _split(self, m):
         """Split target mean *m* into (eps_good, eps_bad)."""
@@ -169,13 +215,35 @@ class SteeredGilbertElliott(LossProcess):
         return min(eps_good, 1.0), 1.0
 
     def is_lost(self, t):
-        m = self.mean_loss(t)
-        eps_good, eps_bad = self._split(m)
-        in_bad = self._chain.in_bad_state(t)
+        if self._static_eps is not None:
+            eps_good, eps_bad = self._static_eps
+        else:
+            m = self.mean_loss(t)
+            if m != self._last_m:
+                self._last_m = m
+                self._last_split = self._split(m)
+            eps_good, eps_bad = self._last_split
+        # Inline the no-flip fast path of the chain advance; the full
+        # method only runs when a state flip is actually due.
+        chain = self._chain
+        if chain._time <= t < chain._next_flip:
+            chain._time = t
+            in_bad = chain._in_bad
+        else:
+            in_bad = chain.in_bad_state(t)
         eps = eps_bad if in_bad else eps_good
-        return bool(self.rng.random() < eps)
+        # Inline buffered uniform draw (see BufferedUniforms).
+        i = self._buf_i
+        buf = self._buf
+        if i >= len(buf):
+            buf = self._buf = self.rng.random(self._block).tolist()
+            i = 0
+        self._buf_i = i + 1
+        return buf[i] < eps
 
     def loss_rate(self, t):
+        if self.static_loss_rate is not None:
+            return self.static_loss_rate
         return min(max(float(self.mean_loss(t)), 0.0), 1.0)
 
 
@@ -196,7 +264,8 @@ class TraceDrivenLoss(LossProcess):
         out_of_range_rate: loss rate applied outside the trace span.
     """
 
-    def __init__(self, rates, rng, t0=0.0, out_of_range_rate=1.0):
+    def __init__(self, rates, rng, t0=0.0, out_of_range_rate=1.0,
+                 batch=64):
         self.rates = [float(r) for r in rates]
         for r in self.rates:
             if not 0.0 <= r <= 1.0:
@@ -204,6 +273,7 @@ class TraceDrivenLoss(LossProcess):
         self.rng = rng
         self.t0 = float(t0)
         self.out_of_range_rate = float(out_of_range_rate)
+        self._draw = BufferedUniforms(rng, block=batch).next
 
     def loss_rate(self, t):
         idx = int(math.floor(t - self.t0))
@@ -212,4 +282,4 @@ class TraceDrivenLoss(LossProcess):
         return self.out_of_range_rate
 
     def is_lost(self, t):
-        return bool(self.rng.random() < self.loss_rate(t))
+        return self._draw() < self.loss_rate(t)

@@ -23,11 +23,24 @@ Section 2.1).  The medium implements:
 The medium also keeps transmission counters per node and frame kind so
 the efficiency analysis (Figure 12) can count every transmission on the
 vehicle-BS channel.
+
+**Fast path.**  Delivery resolution used to evaluate the loss process
+of *every* attached node for every frame, even for pairs far out of
+radio range.  The :class:`LinkTable` now maintains a per-transmitter
+reachability index (links whose expected loss rate is strictly below
+1.0), refreshed lazily on a coarse timer, so :meth:`WirelessMedium`
+only runs the stochastic channel for receivers that could possibly
+decode; known-unreachable receivers are recorded as losses without
+touching their loss process.  Transmission and delivery accounting use
+:class:`collections.Counter` with O(1) aggregate views instead of
+rescanning all keys.
 """
 
-from collections import deque
+from collections import Counter, deque
 
 __all__ = ["LinkTable", "MediumObserver", "WirelessMedium"]
+
+_EMPTY = {}
 
 
 class LinkTable:
@@ -37,11 +50,38 @@ class LinkTable:
     on demand by a factory ``(src, dst) -> LossProcess | None``.  A
     ``None`` process means the pair is out of range: frames are never
     delivered.
+
+    Args:
+        factory: optional on-demand link factory.
+        reach_refresh_s: how long a transmitter's cached reachable-
+            neighbor set stays valid (seconds).  A link whose expected
+            loss rate is exactly 1.0 at refresh time is treated as
+            unreachable until the next refresh, so a link coming back
+            into range is noticed at most this much late.  Set to 0 to
+            disable the reachability index (every frame then evaluates
+            every registered link, as the pre-fast-path medium did).
     """
 
-    def __init__(self, factory=None):
+    def __init__(self, factory=None, reach_refresh_s=0.25):
         self._links = {}
         self._factory = factory
+        self._by_src = {}
+        self.reach_refresh_s = float(reach_refresh_s)
+        # src -> (expires_at, frozenset(reachable ids),
+        #         ((dst, process), ...) sorted by dst)
+        self._reach = {}
+        # src -> (always-reachable static pairs, dynamic pairs): links
+        # with a constant loss rate are classified once; only dynamic
+        # links are re-evaluated on each refresh.
+        self._reach_split = {}
+
+    def _register(self, src, dst, process):
+        self._links[(src, dst)] = process
+        if process is not None:
+            self._by_src.setdefault(src, {})[dst] = process
+        # The transmitter's neighborhood changed; recompute on next use.
+        self._reach.pop(src, None)
+        self._reach_split.pop(src, None)
 
     def set_link(self, src, dst, process, symmetric=False):
         """Register the loss process for ``src -> dst``.
@@ -50,9 +90,9 @@ class LinkTable:
         ``dst -> src``, mirroring the paper's symmetric trace
         methodology (Section 5.1).
         """
-        self._links[(src, dst)] = process
+        self._register(src, dst, process)
         if symmetric:
-            self._links[(dst, src)] = process
+            self._register(dst, src, process)
 
     def get(self, src, dst):
         """Return the loss process for ``src -> dst`` or ``None``."""
@@ -60,7 +100,7 @@ class LinkTable:
         if key not in self._links:
             if self._factory is None:
                 return None
-            self._links[key] = self._factory(src, dst)
+            self._register(src, dst, self._factory(src, dst))
         return self._links[key]
 
     def loss_rate(self, src, dst, t):
@@ -74,8 +114,68 @@ class LinkTable:
         return process.loss_rate(t)
 
     def pairs(self):
-        """Iterate over registered ``(src, dst)`` pairs."""
-        return iter(list(self._links.keys()))
+        """Iterate over registered ``(src, dst)`` pairs.
+
+        Returns a live view of the keys (no copy); do not register new
+        links while iterating.
+        """
+        return iter(self._links.keys())
+
+    def known_receivers(self, src):
+        """Mapping ``dst -> process`` of registered links out of *src*."""
+        return self._by_src.get(src, _EMPTY)
+
+    def _reach_entry(self, src, t):
+        entry = self._reach.get(src)
+        if entry is None or t >= entry[0]:
+            split = self._reach_split.get(src)
+            if split is None:
+                static, dynamic = [], []
+                for dst, process in self._by_src.get(src, _EMPTY).items():
+                    # getattr: duck-typed processes (tests, ad-hoc
+                    # models) need not declare staticness.
+                    rate = getattr(process, "static_loss_rate", None)
+                    if rate is None:
+                        dynamic.append((dst, process))
+                    elif rate < 1.0:
+                        static.append((dst, process))
+                split = (static, dynamic)
+                self._reach_split[src] = split
+            static, dynamic = split
+            in_range = list(static)
+            for pair in dynamic:
+                if pair[1].loss_rate(t) < 1.0:
+                    in_range.append(pair)
+            in_range.sort()
+            entry = (
+                t + self.reach_refresh_s,
+                frozenset(dst for dst, _ in in_range),
+                tuple(in_range),
+            )
+            self._reach[src] = entry
+        return entry
+
+    def reachable_from(self, src, t):
+        """The set of receivers of *src* currently in radio range.
+
+        A receiver is *reachable* when its link's expected loss rate is
+        strictly below 1.0; the set is cached for ``reach_refresh_s``
+        seconds (queries must be monotone in *t*, as simulation time
+        is).  Returns ``None`` when the index is disabled.
+        """
+        if self.reach_refresh_s <= 0.0:
+            return None
+        return self._reach_entry(src, t)[1]
+
+    def reachable_links(self, src, t):
+        """``((dst, process), ...)`` pairs in range, sorted by dst.
+
+        ``None`` when the index is disabled; same caching/monotonicity
+        contract as :meth:`reachable_from`.
+        """
+        if self.reach_refresh_s <= 0.0:
+            return None
+        return self._reach_entry(src, t)[2]
 
 
 class MediumObserver:
@@ -135,13 +235,20 @@ class WirelessMedium:
         self._attempt_pending = {}
         self._cw = {}  # unicast contention window per node
         self._busy_until = 0.0
-        self._active = []  # (start, end, transmitter_id, frame)
+        self._active = []  # end times of frames currently in the air
         self.observers = []
+        self._backoff_buf = None
+        self._backoff_i = 0
 
         # Counters: transmissions on the vehicle-BS channel, per node
         # and frame kind, for the Figure 12 efficiency accounting.
-        self.tx_count = {}
-        self.delivered_count = {}
+        # Aggregate views are maintained alongside so
+        # :meth:`transmissions` never rescans the per-pair keys.
+        self.tx_count = Counter()
+        self.delivered_count = Counter()
+        self._tx_by_kind = Counter()
+        self._tx_by_node = Counter()
+        self._tx_total = 0
 
     # ------------------------------------------------------------------
     # Topology
@@ -203,6 +310,25 @@ class WirelessMedium:
         """Frames waiting (or in backoff) at the given node."""
         return len(self._queues[transmitter_id])
 
+    def _draw_backoff(self, window):
+        """Backoff slot count, uniform in ``[0, window]``.
+
+        Draws for the standard broadcast window are batched (bit-for-bit
+        identical to scalar draws while only the standard window is in
+        use); grown unicast windows fall back to scalar draws.
+        """
+        if window == self.backoff_slots:
+            buf = self._backoff_buf
+            if buf is None or self._backoff_i >= len(buf):
+                buf = self._backoff_buf = self.rng.integers(
+                    0, window + 1, size=64
+                )
+                self._backoff_i = 0
+            value = int(buf[self._backoff_i])
+            self._backoff_i += 1
+            return value
+        return int(self.rng.integers(0, window + 1))
+
     def _schedule_attempt(self, transmitter_id):
         if self._attempt_pending[transmitter_id]:
             return
@@ -212,7 +338,7 @@ class WirelessMedium:
         now = self.sim.now
         idle_at = max(now, self._busy_until)
         window = self._cw[transmitter_id]
-        backoff = self.rng.integers(0, window + 1) * self.slot_time
+        backoff = self._draw_backoff(window) * self.slot_time
         attempt_at = idle_at + self.difs + backoff
         self.sim.schedule_at(attempt_at, self._attempt, transmitter_id)
 
@@ -235,19 +361,24 @@ class WirelessMedium:
                   attempt=0):
         start = self.sim.now
         end = start + self.airtime(frame.size_bytes)
-        # Collision bookkeeping: any concurrently airing frame overlaps.
-        self._active = [t for t in self._active if t[1] > start]
-        colliding = list(self._active)
-        self._active.append((start, end, transmitter_id, frame))
+        # Collision bookkeeping: any concurrently airing frame (an end
+        # time past our start) overlaps.
+        active = self._active
+        if active:
+            active = [e for e in active if e > start]
+        collided = bool(active)
+        active.append(end)
+        self._active = active
         self._busy_until = max(self._busy_until, end)
 
-        kind = frame.kind.value
-        key = (transmitter_id, kind)
-        self.tx_count[key] = self.tx_count.get(key, 0) + 1
+        kind = frame.kind_value
+        self.tx_count[(transmitter_id, kind)] += 1
+        self._tx_by_kind[kind] += 1
+        self._tx_by_node[transmitter_id] += 1
+        self._tx_total += 1
         for obs in self.observers:
             obs.on_transmit(transmitter_id, frame, start, end)
 
-        collided = bool(colliding)
         if collided:
             # The earlier overlapping frames are retroactively corrupted
             # at receivers whose delivery has not resolved yet; for
@@ -261,27 +392,78 @@ class WirelessMedium:
     def _resolve(self, transmitter_id, frame, start, collided,
                  unicast_to=None, attempt=0):
         unicast_delivered = False
+        links = self.links
+        observers = self.observers
+        delivered_count = self.delivered_count
+        kind = frame.kind_value
+        now = self.sim.now
+        if self.links.reach_refresh_s > 0.0 and not observers \
+                and links._factory is None:
+            # Fast path: no observers to notify about losses and no
+            # factory that could supply unindexed links, so only the
+            # in-range receivers need any work at all.  Receivers are
+            # visited in sorted id order for reproducible delivery
+            # order.
+            nodes = self._nodes
+            for receiver_id, process in \
+                    links.reachable_links(transmitter_id, start):
+                if receiver_id == transmitter_id:
+                    continue
+                node = nodes.get(receiver_id)
+                if node is None:
+                    continue
+                if collided or process.is_lost(start):
+                    continue
+                if receiver_id == unicast_to:
+                    unicast_delivered = True
+                delivered_count[(receiver_id, kind)] += 1
+                node.on_receive(frame, transmitter_id)
+            return self._finish_resolve(transmitter_id, frame,
+                                        unicast_to, attempt,
+                                        unicast_delivered)
+        reachable = links.reachable_from(transmitter_id, start)
+        known = links.known_receivers(transmitter_id) \
+            if reachable is not None else None
         for receiver_id, node in self._nodes.items():
             if receiver_id == transmitter_id:
                 continue
-            process = self.links.get(transmitter_id, receiver_id)
-            if process is None:
-                continue
-            lost = collided or process.is_lost(start)
+            if reachable is not None:
+                if receiver_id in reachable:
+                    process = known[receiver_id]
+                    lost = collided or process.is_lost(start)
+                elif receiver_id in known:
+                    # Registered link, but out of range at the last
+                    # reachability refresh: lost without running the
+                    # stochastic channel.
+                    lost = True
+                else:
+                    # Not in the index; a factory may still supply it.
+                    process = links.get(transmitter_id, receiver_id)
+                    if process is None:
+                        continue
+                    lost = collided or process.is_lost(start)
+            else:
+                process = links.get(transmitter_id, receiver_id)
+                if process is None:
+                    continue
+                lost = collided or process.is_lost(start)
             if lost:
-                for obs in self.observers:
+                for obs in observers:
                     obs.on_loss(transmitter_id, receiver_id, frame,
-                                self.sim.now, collided)
+                                now, collided)
                 continue
             if receiver_id == unicast_to:
                 unicast_delivered = True
-            key = (receiver_id, frame.kind.value)
-            self.delivered_count[key] = self.delivered_count.get(key, 0) + 1
-            for obs in self.observers:
-                obs.on_deliver(transmitter_id, receiver_id, frame,
-                               self.sim.now)
+            delivered_count[(receiver_id, kind)] += 1
+            for obs in observers:
+                obs.on_deliver(transmitter_id, receiver_id, frame, now)
             node.on_receive(frame, transmitter_id)
+        self._finish_resolve(transmitter_id, frame, unicast_to, attempt,
+                             unicast_delivered)
 
+    def _finish_resolve(self, transmitter_id, frame, unicast_to, attempt,
+                        unicast_delivered):
+        """Unicast retry bookkeeping and sender completion callback."""
         if unicast_to is not None:
             if unicast_delivered:
                 self._cw[transmitter_id] = self.backoff_slots
@@ -309,12 +491,14 @@ class WirelessMedium:
     # ------------------------------------------------------------------
 
     def transmissions(self, kind=None, node_id=None):
-        """Total transmissions, optionally filtered by kind / node."""
-        total = 0
-        for (nid, k), count in self.tx_count.items():
-            if kind is not None and k != kind:
-                continue
-            if node_id is not None and nid != node_id:
-                continue
-            total += count
-        return total
+        """Total transmissions, optionally filtered by kind / node.
+
+        O(1): served from the Counter-backed aggregate views.
+        """
+        if kind is None and node_id is None:
+            return self._tx_total
+        if node_id is None:
+            return self._tx_by_kind[kind]
+        if kind is None:
+            return self._tx_by_node[node_id]
+        return self.tx_count[(node_id, kind)]

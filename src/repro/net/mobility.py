@@ -113,11 +113,21 @@ class VehicleMotion:
     def __init__(self, route, depart_at=0.0):
         self.route = route
         self.depart_at = float(depart_at)
+        # One-entry memo: every link of a broadcast frame samples the
+        # vehicle at the same instant, so repeats dominate.
+        self._memo_t = None
+        self._memo_pos = None
 
     def __call__(self, t):
+        if t == self._memo_t:
+            return self._memo_pos
         if t <= self.depart_at:
-            return self.route.waypoints[0]
-        return self.route.position_at(t - self.depart_at)
+            pos = self.route.waypoints[0]
+        else:
+            pos = self.route.position_at(t - self.depart_at)
+        self._memo_t = t
+        self._memo_pos = pos
+        return pos
 
     def speed_at(self, t):
         """Instantaneous speed (m/s), estimated over a 0.2 s window."""

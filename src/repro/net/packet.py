@@ -119,6 +119,7 @@ class DataPacket:
     payload: object = None
 
     kind = FrameKind.DATA
+    kind_value = "data"  # .value hoisted off the enum descriptor
 
     def relay_copy(self, relayer_id):
         """Return the copy of this packet an auxiliary relays."""
@@ -166,6 +167,7 @@ class Ack:
     size_bytes: int = ACK_SIZE_BYTES
 
     kind = FrameKind.ACK
+    kind_value = "ack"
 
     def missing_ids(self):
         """Yield packet ids the bitmap marks as missing."""
@@ -205,6 +207,7 @@ class Beacon:
     learned: dict = field(default_factory=dict)
 
     kind = FrameKind.BEACON
+    kind_value = "beacon"
 
     @property
     def size_bytes(self):

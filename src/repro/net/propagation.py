@@ -17,13 +17,28 @@ three layers:
 Received power maps to packet reception probability through a logistic
 curve calibrated for 500-byte frames at 1 Mbps (the paper's fixed rate,
 Section 5.1).
+
+Link evaluation is the hottest path of a protocol run (every frame asks
+every in-range receiver for its instantaneous loss probability), so this
+module also provides the fast path: :class:`SpatialField` evaluates its
+random-Fourier sum vectorized with numpy behind a position-quantized LRU
+cache, :class:`GrayPeriodProcess` answers queries by bisection over
+merged intervals and prunes expired ones, and :class:`LinkStateCache`
+memoizes a link's RSSI / reception probability per time quantum (safe
+because shadowing interpolates on a 1 s lattice and mobility is smooth;
+``quantum_s=0`` degenerates to exact-time memoization and is bitwise
+identical to the uncached model).
 """
 
+import bisect
 import math
+
+import numpy as np
 
 __all__ = [
     "GrayPeriodProcess",
     "LinkModel",
+    "LinkStateCache",
     "RadioProfile",
     "Shadowing",
     "SpatialField",
@@ -119,10 +134,12 @@ class Shadowing:
         """Shadowing offset in dB at time *t* (t >= 0)."""
         if t < 0:
             raise ValueError("shadowing queried before time zero")
-        k = int(math.floor(t))
-        self._extend_to(k)
+        k = int(t)
+        values = self._values
+        if len(values) <= k + 1:
+            self._extend_to(k)
         frac = t - k
-        return (1.0 - frac) * self._values[k] + frac * self._values[k + 1]
+        return (1.0 - frac) * values[k] + frac * values[k + 1]
 
 
 class SpatialField:
@@ -137,27 +154,68 @@ class SpatialField:
     features), which is smooth over the given correlation length and
     deterministic for a given stream.
 
+    The cosine sum is evaluated vectorized (one numpy expression over
+    all terms) behind a small LRU cache keyed on the quantized query
+    position.  With ``cache_quantum_m=0`` (the default) the key is the
+    exact position, so caching is invisible: it only collapses repeated
+    queries at the same point (each transmission queries the field once
+    per direction and once for the RSSI report).  A positive quantum
+    trades accuracy for hit rate; the error is bounded by the field's
+    gradient (of order ``sigma / correlation_m`` dB per metre) times the
+    quantum.
+
     Args:
         sigma_db: stationary standard deviation of the field.
         correlation_m: spatial correlation length in metres.
         rng: stream used to draw frequencies/phases (one-shot).
         n_terms: number of cosine terms; more terms make the field
             closer to Gaussian.
+        cache_quantum_m: position quantization of the cache key in
+            metres; 0 keys on exact positions.
+        cache_size: maximum cached positions (LRU eviction).
     """
 
-    def __init__(self, sigma_db, correlation_m, rng, n_terms=48):
+    def __init__(self, sigma_db, correlation_m, rng, n_terms=48,
+                 cache_quantum_m=0.0, cache_size=1024):
         self.sigma = float(sigma_db)
         scale = 1.0 / max(float(correlation_m), 1e-9)
         self._freqs = rng.normal(0.0, scale, size=(n_terms, 2))
         self._phases = rng.uniform(0.0, 2.0 * math.pi, size=n_terms)
         self._amp = self.sigma * math.sqrt(2.0 / n_terms)
+        self._fx = np.ascontiguousarray(self._freqs[:, 0])
+        self._fy = np.ascontiguousarray(self._freqs[:, 1])
+        self.cache_quantum = float(cache_quantum_m)
+        self._cache = {}
+        self._cache_size = int(cache_size)
+
+    def _evaluate(self, x, y):
+        total = np.cos(self._fx * x + self._fy * y + self._phases).sum()
+        return self._amp * float(total)
 
     def value_db(self, x, y):
         """Field value at position ``(x, y)``."""
-        total = 0.0
-        for (fx, fy), phase in zip(self._freqs, self._phases):
-            total += math.cos(fx * x + fy * y + phase)
-        return self._amp * total
+        quantum = self.cache_quantum
+        if quantum > 0.0:
+            key = (round(x / quantum), round(y / quantum))
+        else:
+            key = (x, y)
+        cache = self._cache
+        value = cache.get(key)
+        if value is None:
+            if quantum > 0.0:
+                # Evaluate at the cell centre so the cached value is a
+                # pure function of the key: the same location always
+                # reads the same offset regardless of query order or
+                # LRU eviction history.
+                value = self._evaluate(key[0] * quantum, key[1] * quantum)
+            else:
+                value = self._evaluate(x, y)
+            if len(cache) >= self._cache_size:
+                # Evict the oldest entry (dicts preserve insertion
+                # order); approximate LRU is plenty for a smooth field.
+                del cache[next(iter(cache))]
+            cache[key] = value
+        return value
 
 
 class GrayPeriodProcess:
@@ -165,15 +223,34 @@ class GrayPeriodProcess:
 
     Onsets arrive at rate ``rate_per_s``; each lasts an exponential
     duration with the configured mean.  Overlapping periods merge.
+
+    Intervals are stored merged and sorted, queries answered by
+    bisection, and intervals that ended before the latest query time are
+    pruned (simulation time is monotone), so long runs stay O(log n)
+    per query instead of scanning the full history.
     """
 
     def __init__(self, rate_per_s, mean_duration_s, rng, horizon_hint_s=1200.0):
         self.rate = float(rate_per_s)
         self.mean_duration = float(mean_duration_s)
         self.rng = rng
-        self._intervals = []
+        # Parallel arrays of merged, disjoint intervals sorted by start.
+        # ``_low`` is the prune head: entries below it ended at or
+        # before the latest query time and are compacted away lazily.
+        self._starts = []
+        self._ends = []
+        self._low = 0
         self._generated_until = 0.0
         self._horizon_step = float(horizon_hint_s)
+
+    def _append(self, start, end):
+        if self._ends and start <= self._ends[-1]:
+            # Overlapping or touching periods merge.
+            if end > self._ends[-1]:
+                self._ends[-1] = end
+        else:
+            self._starts.append(start)
+            self._ends.append(end)
 
     def _generate_until(self, t):
         while self._generated_until <= t:
@@ -185,18 +262,36 @@ class GrayPeriodProcess:
                 onsets = sorted(self.rng.uniform(start, end, size=count))
                 for onset in onsets:
                     duration = self.rng.exponential(self.mean_duration)
-                    self._intervals.append((onset, onset + duration))
+                    self._append(onset, onset + duration)
             self._generated_until = end
 
+    #: Pruning slack (seconds): intervals are only dropped once they
+    #: ended this far before the latest query, so the slightly
+    #: out-of-order queries the medium makes (frames are resolved in
+    #: end-time order but evaluated at their start times, a few
+    #: milliseconds of reordering) never lose a just-expired period.
+    _PRUNE_SLACK_S = 1.0
+
     def in_gray(self, t):
-        """True when time *t* falls inside a gray period."""
+        """True when time *t* falls inside a gray period.
+
+        Queries are expected to be roughly monotone in *t* (reordering
+        within ``_PRUNE_SLACK_S`` is fine); a query drops intervals
+        that ended more than the slack before it, so a query further in
+        the past may miss already-pruned periods.
+        """
         self._generate_until(t)
-        for start, end in self._intervals:
-            if start <= t < end:
-                return True
-            if start > t:
-                break
-        return False
+        starts, ends, low = self._starts, self._ends, self._low
+        cutoff = t - self._PRUNE_SLACK_S
+        while low < len(ends) and ends[low] <= cutoff:
+            low += 1
+        if low > 256:
+            del starts[:low]
+            del ends[:low]
+            low = 0
+        self._low = low
+        idx = bisect.bisect_right(starts, t, lo=low) - 1
+        return idx >= low and ends[idx] > t
 
 
 class LinkModel:
@@ -234,11 +329,12 @@ class LinkModel:
 
     def rssi(self, t):
         """Instantaneous RSSI including shadowing (dBm)."""
-        value = self.profile.mean_rssi(self.distance(t))
+        ax, ay = self.position_a(t)
+        bx, by = self.position_b(t)
+        value = self.profile.mean_rssi(math.hypot(ax - bx, ay - by))
         if self.shadowing is not None:
             value += self.shadowing.value_db(t)
         if self.spatial is not None:
-            bx, by = self.position_b(t)
             value += self.spatial.value_db(bx, by)
         return value
 
@@ -248,6 +344,88 @@ class LinkModel:
         if self.gray is not None and self.gray.in_gray(t):
             p = min(p, self.profile.gray_residual_reception)
         return p
+
+    def loss_prob(self, t):
+        return 1.0 - self.reception_prob(t)
+
+
+class LinkStateCache:
+    """Memoizes a :class:`LinkModel`'s RSSI / reception per time quantum.
+
+    Every frame on the medium asks the link model for its instantaneous
+    loss probability, but the model's ingredients change slowly:
+    shadowing interpolates on a 1 s lattice, the spatial field varies
+    over tens of metres (several seconds of driving), and gray periods
+    last seconds.  Quantizing the query time to ``quantum_s`` therefore
+    barely changes the answer — the reception-probability error is
+    bounded by the model's time derivative (lattice slope plus field
+    gradient times vehicle speed, a few dB/s) times the quantum — while
+    collapsing the many evaluations a busy medium makes inside one
+    quantum into a single computation.
+
+    Two properties make the cache safe:
+
+    * **Monotone time** — simulation time never goes backwards, so
+      entries never need invalidation; only the latest bucket is kept.
+    * **Deterministic replay** — the underlying stochastic processes
+      (shadowing lattice, gray periods) extend themselves lazily but
+      deterministically, so skipping intermediate queries consumes
+      exactly the same RNG stream as making them.
+
+    With ``quantum_s=0`` the bucket is the exact query time: results
+    are bit-for-bit identical to the uncached model, and the cache only
+    collapses repeated queries at the same instant (e.g. the up- and
+    down-direction loss processes of one link resolving the same
+    frame).
+
+    Args:
+        link: the wrapped :class:`LinkModel`.
+        quantum_s: time quantum in seconds (default 20 ms).
+    """
+
+    #: Default time quantum (seconds) used by the testbed fast paths.
+    DEFAULT_QUANTUM_S = 0.02
+
+    __slots__ = ("link", "quantum", "_rssi_key", "_rssi", "_prob_key",
+                 "_prob")
+
+    def __init__(self, link, quantum_s=DEFAULT_QUANTUM_S):
+        self.link = link
+        self.quantum = float(quantum_s)
+        self._rssi_key = None
+        self._rssi = 0.0
+        self._prob_key = None
+        self._prob = 0.0
+
+    @property
+    def profile(self):
+        return self.link.profile
+
+    def distance(self, t):
+        return self.link.distance(t)
+
+    def rssi(self, t):
+        """Instantaneous RSSI (dBm), recomputed once per quantum."""
+        key = t if self.quantum <= 0.0 else int(t / self.quantum)
+        if key != self._rssi_key:
+            self._rssi = self.link.rssi(t)
+            self._rssi_key = key
+        return self._rssi
+
+    def reception_prob(self, t):
+        """Mean reception probability, recomputed once per quantum."""
+        key = t if self.quantum <= 0.0 else int(t / self.quantum)
+        if key != self._prob_key:
+            link = self.link
+            if key != self._rssi_key:
+                self._rssi = link.rssi(t)
+                self._rssi_key = key
+            p = link.profile.reception_prob(self._rssi)
+            if link.gray is not None and link.gray.in_gray(t):
+                p = min(p, link.profile.gray_residual_reception)
+            self._prob = p
+            self._prob_key = key
+        return self._prob
 
     def loss_prob(self, t):
         return 1.0 - self.reception_prob(t)

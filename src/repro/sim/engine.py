@@ -13,7 +13,10 @@ Typical use::
 Handles returned by :meth:`Simulator.schedule` can cancel a pending
 event; cancellation is O(1) (the event is tombstoned and skipped when
 popped), which suits protocols that arm and disarm many timers, such as
-ViFi's retransmission and relay timers.
+ViFi's retransmission and relay timers.  The simulator keeps a live
+(non-cancelled) event count so :attr:`Simulator.pending` is O(1), and
+compacts the heap whenever tombstones outnumber live events, so
+cancel-heavy runs do not bloat the queue.
 """
 
 import heapq
@@ -30,18 +33,23 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """Handle to a scheduled event; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_owner")
 
-    def __init__(self, time, seq, callback, args):
+    def __init__(self, time, seq, callback, args, owner=None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._owner = owner
 
     def cancel(self):
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None and self.callback is not None:
+            self._owner._on_cancel()
 
     @property
     def active(self):
@@ -49,7 +57,11 @@ class EventHandle:
         return not self.cancelled and self.callback is not None
 
     def __lt__(self, other):
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Not used by the event loop (the heap orders raw (time, seq,
+        # handle) tuples); kept so handles sort sensibly for callers.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self):
         state = "cancelled" if self.cancelled else "pending"
@@ -59,11 +71,18 @@ class EventHandle:
 class Simulator:
     """Deterministic event loop with a floating-point clock (seconds)."""
 
+    #: Heaps smaller than this are never compacted; below this size the
+    #: rebuild costs more than the tombstones it reclaims.
+    _COMPACT_MIN = 64
+
     def __init__(self, start_time=0.0):
         self._now = float(start_time)
+        # Heap of (time, seq, EventHandle): raw tuples keep heap sifts
+        # in C (seq is unique, so the handle itself is never compared).
         self._queue = []
         self._seq = itertools.count()
         self._running = False
+        self._live = 0
         self.events_processed = 0
 
     @property
@@ -79,7 +98,12 @@ class Simulator:
         """
         if delay < 0 or not math.isfinite(delay):
             raise SimulationError(f"invalid delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = next(self._seq)
+        handle = EventHandle(time, seq, callback, args, owner=self)
+        heapq.heappush(self._queue, (time, seq, handle))
+        self._live += 1
+        return handle
 
     def schedule_at(self, time, callback, *args):
         """Schedule *callback(*args)* at absolute simulation *time*."""
@@ -87,9 +111,29 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time:.6f}, now is {self._now:.6f}"
             )
-        handle = EventHandle(float(time), next(self._seq), callback, args)
-        heapq.heappush(self._queue, handle)
+        time = float(time)
+        seq = next(self._seq)
+        handle = EventHandle(time, seq, callback, args, owner=self)
+        heapq.heappush(self._queue, (time, seq, handle))
+        self._live += 1
         return handle
+
+    def _on_cancel(self):
+        """A queued event was tombstoned; compact if they dominate."""
+        self._live -= 1
+        queued = len(self._queue)
+        if (queued >= self._COMPACT_MIN
+                and queued - self._live > queued // 2):
+            self._compact()
+
+    def _compact(self):
+        """Drop tombstoned events and rebuild the heap in O(n).
+
+        Mutates the queue in place so references held by a running
+        event loop stay valid.
+        """
+        self._queue[:] = [e for e in self._queue if not e[2].cancelled]
+        heapq.heapify(self._queue)
 
     def run(self, until=None, max_events=None):
         """Run events in order until the queue drains or limits hit.
@@ -104,18 +148,21 @@ class Simulator:
         """
         processed = 0
         self._running = True
+        queue = self._queue  # _compact mutates in place; safe to hoist
+        heappop = heapq.heappop
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and processed >= max_events:
                     break
-                head = self._queue[0]
+                time, _, head = queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
                     continue
-                if until is not None and head.time > until:
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
-                self._now = head.time
+                heappop(queue)
+                self._live -= 1
+                self._now = time
                 callback, args = head.callback, head.args
                 head.callback = None
                 head.args = None
@@ -131,10 +178,11 @@ class Simulator:
     def step(self):
         """Process exactly one pending event.  Returns False if idle."""
         while self._queue:
-            head = heapq.heappop(self._queue)
+            time, _, head = heapq.heappop(self._queue)
             if head.cancelled:
                 continue
-            self._now = head.time
+            self._live -= 1
+            self._now = time
             callback, args = head.callback, head.args
             head.callback = None
             head.args = None
@@ -145,14 +193,14 @@ class Simulator:
 
     @property
     def pending(self):
-        """Number of queued, non-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued, non-cancelled events.  O(1)."""
+        return self._live
 
     def peek_time(self):
         """Time of the next live event, or ``None`` when idle."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def __repr__(self):
         return f"Simulator(now={self._now:.6f}, pending={self.pending})"

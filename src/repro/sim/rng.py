@@ -11,7 +11,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["RngRegistry", "derive_seed"]
+__all__ = ["BufferedUniforms", "RngRegistry", "derive_seed"]
 
 
 def derive_seed(root_seed, name):
@@ -29,6 +29,45 @@ def derive_seed(root_seed, name):
     """
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+class BufferedUniforms:
+    """Serve uniform [0, 1) draws from pre-drawn numpy blocks.
+
+    A scalar ``Generator.random()`` call costs roughly a microsecond of
+    numpy dispatch overhead; drawing a block and serving from it
+    amortizes that across ``block`` draws.  For numpy's bit generators
+    ``rng.random(n)`` consumes exactly the same underlying stream as
+    ``n`` scalar calls, so buffering is bit-for-bit transparent —
+    *provided the wrapped generator has no other consumers*.  When the
+    generator is shared (e.g. a Gilbert-Elliott chain drawing holding
+    times from the same stream), buffering reorders draws relative to
+    the unbuffered interleaving: still a valid i.i.d. uniform sequence,
+    but not the identical one.
+
+    Args:
+        rng: the :class:`numpy.random.Generator` to draw from.
+        block: draws per refill; 1 disables buffering.
+    """
+
+    __slots__ = ("rng", "block", "_buf", "_i")
+
+    def __init__(self, rng, block=64):
+        self.rng = rng
+        self.block = max(int(block), 1)
+        self._buf = ()
+        self._i = 0
+
+    def next(self):
+        """The next uniform draw as a python float."""
+        i = self._i
+        if i >= len(self._buf):
+            # tolist() converts to python floats once per block, so the
+            # hot path never pays numpy scalar boxing.
+            self._buf = self.rng.random(self.block).tolist()
+            i = 0
+        self._i = i + 1
+        return self._buf[i]
 
 
 class RngRegistry:

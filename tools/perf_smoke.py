@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Perf smoke check: run the pinned workloads, track, gate regressions.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_smoke.py [--repeats N]
+        [--tolerance 0.2] [--no-write]
+
+Runs the pinned perf workloads (see ``repro.experiments.perf``),
+compares events/sec against the committed ``BENCH_perf.json``, rewrites
+the file with the fresh numbers, and exits non-zero when any workload
+regressed by more than ``--tolerance`` (default 20%).  Intended as the
+CI perf gate: wall-clock noise on shared runners is absorbed by the
+tolerance and the best-of-``--repeats`` policy.
+
+Also available as ``python -m repro bench``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.perf import (  # noqa: E402
+    BENCH_PATH,
+    run_perf_suite,
+    write_bench_file,
+)
+
+
+def check_regressions(results, committed, tolerance):
+    """Return a list of human-readable regression messages."""
+    failures = []
+    previous = {
+        entry["workload"]: entry
+        for entry in committed.get("workloads", [])
+    }
+    for record in results:
+        old = previous.get(record["workload"])
+        if old is None:
+            continue
+        floor = old["events_per_s"] * (1.0 - tolerance)
+        if record["events_per_s"] < floor:
+            failures.append(
+                f"{record['workload']}: {record['events_per_s']:.0f} ev/s "
+                f"< {floor:.0f} (committed {old['events_per_s']:.0f} "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="measurements per workload; best is kept")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional events/sec regression")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and compare without rewriting "
+                             "BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    committed = {}
+    if BENCH_PATH.exists():
+        with open(BENCH_PATH) as handle:
+            committed = json.load(handle)
+
+    results = run_perf_suite(repeats=args.repeats)
+    for record in results:
+        speedup = record.get("speedup_vs_baseline")
+        extra = f"  ({speedup}x vs seed baseline)" if speedup else ""
+        print(f"{record['workload']:<20s} {record['events']:>7d} events  "
+              f"{record['wall_s']:>8.3f} s  "
+              f"{record['events_per_s']:>9.0f} ev/s{extra}")
+
+    failures = check_regressions(results, committed, args.tolerance)
+    if failures:
+        # Keep the committed baseline intact so re-runs still fail
+        # against the good numbers instead of a ratcheted-down file.
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        print("BENCH_perf.json left untouched (regression)",
+              file=sys.stderr)
+        return 1
+    if not args.no_write:
+        path = write_bench_file(results)
+        print(f"wrote {path}")
+    print("perf smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
