@@ -22,14 +22,16 @@ vehicle (upstream) and the anchor BS (downstream) via
 :class:`LinkSender`.
 """
 
+import heapq
 import itertools
+import math
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 from repro.core.relaying import RelayContext
 from repro.net.packet import Ack, Beacon, DataPacket, Direction, FrameKind
 
-__all__ = ["BasestationNode", "LinkSender", "VehicleNode"]
+__all__ = ["BasestationNode", "BeaconSlotter", "LinkSender", "VehicleNode"]
 
 #: Number of recently received pkt_ids remembered per peer for
 #: de-duplication and bitmap construction.
@@ -40,6 +42,74 @@ _RECEIVE_MEMORY = 512
 _BEACON = FrameKind.BEACON
 _DATA = FrameKind.DATA
 _ACK = FrameKind.ACK
+
+
+class BeaconSlotter:
+    """Slot-aligned batching of every node's beacon timer.
+
+    With a dozen nodes beaconing ten times a second, per-node timers
+    are the single largest source of heap events in a protocol run.
+    The slotter keeps each node's *nominal* due time (phase, then
+    ``due += interval + jitter``, drawn from the node's own stream
+    exactly as the per-node timers drew it) in one priority queue and
+    arms a single fire-and-forget event per occupied slot: when it
+    fires, every beacon due up to that slot boundary is emitted in due
+    order.
+
+    Fidelity: due times are computed from the nominal chain, never from
+    the aligned emission times, so beacon *rates* — the estimator's
+    denominators — are exactly those of per-node timers; each emission
+    is merely delayed to the next multiple of ``slot_s`` (at most one
+    slot, default 20 ms against a 100 ms beacon interval).  Setting
+    ``slot_s=0`` in the config restores per-node timers.
+    """
+
+    def __init__(self, sim, slot_s):
+        self.sim = sim
+        self.slot = float(slot_s)
+        self._heap = []  # (nominal due, seq, node)
+        self._seq = itertools.count()
+        self._next_fire_at = None
+
+    def add(self, node, first_due):
+        """Register *node*; its first beacon is due at *first_due*."""
+        heapq.heappush(self._heap, (float(first_due), next(self._seq),
+                                    node))
+        self._arm(self._slot_after(first_due))
+
+    def _slot_after(self, due):
+        """The emission slot for a nominal due time (never earlier)."""
+        slot = self.slot
+        aligned = math.ceil(due / slot) * slot
+        return aligned if aligned >= due else aligned + slot
+
+    def _arm(self, at):
+        """Ensure a fire event exists at *at* or earlier.
+
+        A node registered after the slotter armed may be due before
+        the armed slot; an extra earlier event is scheduled and the
+        superseded one becomes a no-op (see :meth:`_fire`).
+        """
+        nxt = self._next_fire_at
+        if nxt is not None and nxt <= at:
+            return
+        self._next_fire_at = at
+        self.sim.schedule_fire_at(at, self._fire)
+
+    def _fire(self):
+        now = self.sim.now
+        nxt = self._next_fire_at
+        if nxt is None or now < nxt:
+            return  # superseded: an earlier fire already served us
+        self._next_fire_at = None
+        heap = self._heap
+        push, pop = heapq.heappush, heapq.heappop
+        while heap and heap[0][0] <= now:
+            due, _, node = pop(heap)
+            next_due = node._emit_beacon(due)
+            push(heap, (next_due, next(self._seq), node))
+        if heap:
+            self._arm(self._slot_after(heap[0][0]))
 
 
 class _ReceiverState:
@@ -218,13 +288,18 @@ class LinkSender:
 
     def _arm_retx_timer(self):
         """Keep one timer armed at the earliest retransmission time."""
-        if self._retx_event is not None and self._retx_event.active:
-            self._retx_event.cancel()
         times = [p.next_retx for p in self.pending.values()
                  if p.tx_count > 0 and not p.acked]
+        event = self._retx_event
         if not times:
+            if event is not None and event.active:
+                event.cancel()
             return
         wake = max(min(times), self.ctx.sim.now)
+        if event is not None and event.active:
+            if event.time == wake:
+                return  # already armed at the right instant
+            event.cancel()
         self._retx_event = self.ctx.sim.schedule_at(wake, self.pump)
 
     # -- acknowledgment processing --------------------------------------
@@ -316,17 +391,37 @@ class _NodeBase:
         )
 
     def start(self):
-        """Arm the beacon and per-second estimator timers."""
-        self.ctx.sim.schedule(self._phase, self._beacon_tick)
+        """Arm the beacon and per-second estimator timers.
+
+        Beacons register with the simulation's :class:`BeaconSlotter`
+        when one is configured (one heap event per occupied slot
+        instead of one per node per beacon); otherwise each node runs
+        its own legacy timer.
+        """
+        slotter = getattr(self.ctx, "beacon_slotter", None)
+        if slotter is not None:
+            slotter.add(self, self.ctx.sim.now + self._phase)
+        else:
+            self.ctx.sim.schedule(self._phase, self._beacon_tick)
         self.ctx.sim.schedule(1.0 + self._phase, self._second_tick)
 
     # -- timers ----------------------------------------------------------
 
-    def _beacon_tick(self):
-        self._send_beacon()
+    def _next_beacon_due(self, due):
+        """Advance the nominal due chain (same draws as the timers)."""
         interval = self.ctx.config.beacon_interval
         jitter = self._beacon_rng.uniform(-0.05, 0.05) * interval
-        self.ctx.sim.schedule(max(interval + jitter, 1e-4),
+        return due + max(interval + jitter, 1e-4)
+
+    def _emit_beacon(self, due):
+        """Slotter callback: send one beacon; return the next due."""
+        self._send_beacon()
+        return self._next_beacon_due(due)
+
+    def _beacon_tick(self):
+        self._send_beacon()
+        next_due = self._next_beacon_due(self.ctx.sim.now)
+        self.ctx.sim.schedule(next_due - self.ctx.sim.now,
                               self._beacon_tick)
 
     def _second_tick(self):
@@ -534,7 +629,11 @@ class BasestationNode(_NodeBase):
         # not survivorship-biased toward acks that beat the current
         # window.
         self._data_heard_at = {}
+        self._prune_countdown = self._PRUNE_EVERY_S
         self.forwarded_upstream = []
+
+    #: Seconds between relay-memory pruning scans.
+    _PRUNE_EVERY_S = 4
 
     # -- designation tracking (from vehicle beacons) -------------------------
 
@@ -564,7 +663,13 @@ class BasestationNode(_NodeBase):
             silent = self.ctx.sim.now - self.last_vehicle_beacon
             if silent > config.anchor_belief_timeout:
                 self.is_anchor = False
-        self._prune_relay_memory()
+        # Pruning scans the full relay tables; against a 30 s horizon a
+        # multi-second cadence reclaims the same memory at a quarter of
+        # the scan cost.
+        self._prune_countdown -= 1
+        if self._prune_countdown <= 0:
+            self._prune_countdown = self._PRUNE_EVERY_S
+            self._prune_relay_memory()
 
     def can_send_data(self):
         return self.is_anchor and self.vehicle_id is not None

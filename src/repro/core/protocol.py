@@ -21,7 +21,7 @@ The same machinery runs all protocol variants:
 import itertools
 from dataclasses import dataclass, field
 
-from repro.core.node import BasestationNode, VehicleNode
+from repro.core.node import BasestationNode, BeaconSlotter, VehicleNode
 from repro.core.probabilities import ReceptionEstimator
 from repro.core.relaying import make_strategy
 from repro.core.retransmit import AdaptiveRetxTimer
@@ -48,6 +48,22 @@ class ViFiConfig:
     beacon_interval: float = 0.1
     prob_alpha: float = 0.5
     prob_stale_s: float = 5.0
+    # Slot-aligned beacon batching: all beacons nominally due within
+    # one slot are emitted by a single heap event at the slot boundary
+    # (nominal rates are preserved; emissions shift by at most one
+    # slot).  0 restores one timer event per node per beacon.  Wider
+    # slots batch more but synchronize the co-slotted senders'
+    # contention, which costs deferred-attempt events; 5 ms is the
+    # measured sweet spot against the 100 ms beacon interval (see
+    # PERFORMANCE.md).
+    beacon_slot_s: float = 0.005
+
+    # Medium fast-path knobs (see repro.net.medium): per-receiver loss
+    # outcomes drawn from one batched block, and single-event merged
+    # transmissions when the medium is uncontended.  0 / False restore
+    # the legacy paths.
+    medium_outcome_batch: int = 256
+    medium_merge_uncontended: bool = True
 
     # Anchor / auxiliary designation (Section 4.3).
     anchor_hysteresis: float = 0.15
@@ -190,6 +206,7 @@ class _Context:
         self._tx_ids = itertools.count(1)
         self._nodes = {}
         self.gateway = None
+        self.beacon_slotter = None
 
     def register(self, node):
         self._nodes[node.node_id] = node
@@ -267,6 +284,9 @@ class ViFiSimulation:
         self.medium = WirelessMedium(
             self.sim, link_table, self.rngs.stream("medium"),
             bitrate_bps=self.config.bitrate_bps,
+            outcome_rng=self.rngs.stream("medium-outcomes"),
+            outcome_batch=self.config.medium_outcome_batch,
+            merge_uncontended=self.config.medium_merge_uncontended,
         )
         self.backplane = Backplane(
             self.sim,
@@ -295,6 +315,10 @@ class ViFiSimulation:
 
             self.ctx.relay_strategy = _NeverRelay()
 
+        if self.config.beacon_slot_s > 0.0:
+            self.ctx.beacon_slotter = BeaconSlotter(
+                self.sim, self.config.beacon_slot_s
+            )
         self.vehicle = VehicleNode(vehicle_id, self.ctx)
         self.ctx.register(self.vehicle)
         self.medium.attach(self.vehicle)

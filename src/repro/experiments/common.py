@@ -1,10 +1,17 @@
 """Shared experiment plumbing.
 
 Builders that assemble a :class:`~repro.core.protocol.ViFiSimulation`
-over either testbed, and the standard warmup/measurement timeline used
-by every application experiment (protocols need a couple of seconds of
-beacons before the first anchor exists).
+over either testbed, the standard warmup/measurement timeline used by
+every application experiment (protocols need a couple of seconds of
+beacons before the first anchor exists), and the parallel multi-trip
+runner: trips and seeds are embarrassingly parallel (every stochastic
+process is keyed by ``(testbed seed, trip)`` through the named-stream
+registry), so the figure benchmarks farm independent runs out to a
+process pool and merge results deterministically.
 """
+
+import multiprocessing
+import os
 
 from repro.apps.workload import CbrWorkload, FlowRouter
 from repro.core.protocol import ViFiConfig, ViFiSimulation
@@ -13,8 +20,11 @@ from repro.testbeds.vanlan import VEHICLE_ID, VanLanTestbed
 
 __all__ = [
     "WARMUP_S",
+    "available_workers",
     "dieselnet_protocol",
     "run_protocol_cbr",
+    "run_trips",
+    "vanlan_cbr_trip",
     "vanlan_protocol",
 ]
 
@@ -82,3 +92,95 @@ def run_protocol_cbr(sim, duration_s, interval_s=0.1, size_bytes=500,
     cbr.stop(duration_s - 1.0)
     sim.run(until=duration_s + (0.0 if deadline_s is None else deadline_s))
     return cbr
+
+
+# ----------------------------------------------------------------------
+# Parallel multi-trip running
+# ----------------------------------------------------------------------
+
+def available_workers():
+    """Worker processes this host can usefully run in parallel."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def run_trips(worker, tasks, workers=None, chunksize=1,
+              initializer=None, initargs=()):
+    """Run independent per-trip tasks, optionally on a process pool.
+
+    Every stochastic component draws from streams derived from
+    ``(root seed, names)`` (see :class:`~repro.sim.rng.RngRegistry`),
+    so a task's result depends only on its arguments — never on which
+    worker runs it or in what order.  That is the determinism
+    contract: ``run_trips(w, tasks, workers=k)`` returns exactly
+    ``[w(t) for t in tasks]`` for every *k*, with results merged back
+    in task order.
+
+    Args:
+        worker: a picklable module-level callable taking one task
+            argument and returning a picklable result.
+        tasks: sequence of picklable task arguments (typically
+            ``(trip, seed)``-style tuples or dicts).  Keep tasks small
+            — shared heavyweight state (testbeds, training traces)
+            belongs in *initializer*/*initargs*, which ship once per
+            worker instead of once per task.
+        workers: process count; ``None`` uses the host's available
+            cores, ``0``/``1`` runs serially in-process (no pool, no
+            pickling).
+        chunksize: tasks handed to a worker per dispatch.
+        initializer: optional per-worker setup callable (also invoked
+            once in-process for the serial path, so serial and pooled
+            runs see identical state).
+        initargs: arguments for *initializer*.
+
+    Returns:
+        List of results, one per task, in task order.
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = available_workers()
+    workers = min(int(workers), len(tasks)) if tasks else 0
+    if workers <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [worker(task) for task in tasks]
+    # fork shares the already-imported modules with the children;
+    # spawn (the only option on some platforms) re-imports them.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    with ctx.Pool(processes=workers, initializer=initializer,
+                  initargs=tuple(initargs)) as pool:
+        return pool.map(worker, tasks, chunksize=max(int(chunksize), 1))
+
+
+def vanlan_cbr_trip(task):
+    """Worker: one VanLAN CBR protocol run, summarized picklably.
+
+    Args:
+        task: mapping with keys ``trip`` and optionally
+            ``testbed_seed`` (default 0), ``seed`` (default: trip),
+            ``duration_s`` (default 60).
+
+    Returns:
+        dict with the delivery sequences, event count, and per-kind
+        transmission counters of the run — everything the scaling
+        benchmark needs to check parallel-vs-serial equality.
+    """
+    trip = int(task["trip"])
+    seed = int(task.get("seed", trip))
+    duration = float(task.get("duration_s", 60.0))
+    testbed = VanLanTestbed(seed=int(task.get("testbed_seed", 0)))
+    sim, _ = vanlan_protocol(testbed, trip=trip, seed=seed)
+    cbr = run_protocol_cbr(sim, duration)
+    return {
+        "trip": trip,
+        "seed": seed,
+        "events": sim.sim.events_processed,
+        "up_deliveries": sorted(cbr.up_deliveries.items()),
+        "down_deliveries": sorted(cbr.down_deliveries.items()),
+        "tx_count": sorted(sim.medium.tx_count.items()),
+    }

@@ -25,6 +25,7 @@ Three processes are provided:
 
 import math
 
+from repro.net.propagation import LinkStateCache
 from repro.sim.rng import BufferedUniforms
 
 __all__ = [
@@ -43,6 +44,16 @@ class LossProcess:
     changes over time, else ``None``.  The reachability index of
     :class:`~repro.net.medium.LinkTable` classifies such links once
     instead of re-evaluating them on every refresh.
+
+    Subclasses that can separate *state advance* from the per-packet
+    coin flip additionally implement ``loss_eps(t)``: advance any
+    internal state to *t* and return the instantaneous per-packet loss
+    probability, without consuming a uniform draw.  The medium's
+    batched-outcome fast path then supplies the uniforms itself from
+    one RNG block per frame (see
+    :class:`~repro.net.medium.WirelessMedium`); processes lacking
+    ``loss_eps`` fall back to :meth:`is_lost` and keep their private
+    draw streams.
     """
 
     static_loss_rate = None
@@ -75,6 +86,9 @@ class BernoulliLoss(LossProcess):
 
     def is_lost(self, t):
         return self._draw() < self.p
+
+    def loss_eps(self, t):
+        return self.p
 
     def loss_rate(self, t):
         return self.p
@@ -141,6 +155,10 @@ class GilbertElliottLoss(LossProcess):
         eps = self.eps_bad if self._in_bad else self.eps_good
         return bool(self.rng.random() < eps)
 
+    def loss_eps(self, t):
+        self._advance(t)
+        return self.eps_bad if self._in_bad else self.eps_good
+
     def loss_rate(self, t):
         return self.static_loss_rate
 
@@ -195,11 +213,18 @@ class SteeredGilbertElliott(LossProcess):
         if callable(mean_loss):
             self.mean_loss = mean_loss
             self._static_eps = None
+            # When the target is a LinkStateCache's loss_prob, read the
+            # cache's current bucket inline: the per-packet hot path
+            # then skips two call frames on every cache hit.
+            owner = getattr(mean_loss, "__self__", None)
+            self._link_state = owner \
+                if isinstance(owner, LinkStateCache) else None
         else:
             rate = min(max(float(mean_loss), 0.0), 1.0)
             self.mean_loss = lambda t, rate=rate: rate
             self._static_eps = self._split(rate)
             self.static_loss_rate = rate
+            self._link_state = None
 
     def _split(self, m):
         """Split target mean *m* into (eps_good, eps_bad)."""
@@ -214,11 +239,23 @@ class SteeredGilbertElliott(LossProcess):
         eps_good = (m - pi_b) / (1.0 - pi_b)
         return min(eps_good, 1.0), 1.0
 
-    def is_lost(self, t):
+    def loss_eps(self, t):
+        """Advance the chain to *t*; return the per-packet loss prob."""
         if self._static_eps is not None:
             eps_good, eps_bad = self._static_eps
         else:
-            m = self.mean_loss(t)
+            ls = self._link_state
+            if ls is not None:
+                # Inline LinkStateCache hit: same bucket arithmetic as
+                # reception_prob, without the call frames.
+                quantum = ls.quantum
+                key = t if quantum <= 0.0 else int(t / quantum)
+                if key == ls._prob_key:
+                    m = 1.0 - ls._prob
+                else:
+                    m = 1.0 - ls.reception_prob(t)
+            else:
+                m = self.mean_loss(t)
             if m != self._last_m:
                 self._last_m = m
                 self._last_split = self._split(m)
@@ -228,10 +265,11 @@ class SteeredGilbertElliott(LossProcess):
         chain = self._chain
         if chain._time <= t < chain._next_flip:
             chain._time = t
-            in_bad = chain._in_bad
-        else:
-            in_bad = chain.in_bad_state(t)
-        eps = eps_bad if in_bad else eps_good
+            return eps_bad if chain._in_bad else eps_good
+        return eps_bad if chain.in_bad_state(t) else eps_good
+
+    def is_lost(self, t):
+        eps = self.loss_eps(t)
         # Inline buffered uniform draw (see BufferedUniforms).
         i = self._buf_i
         buf = self._buf
@@ -280,6 +318,9 @@ class TraceDrivenLoss(LossProcess):
         if 0 <= idx < len(self.rates):
             return self.rates[idx]
         return self.out_of_range_rate
+
+    def loss_eps(self, t):
+        return self.loss_rate(t)
 
     def is_lost(self, t):
         return self._draw() < self.loss_rate(t)

@@ -34,6 +34,23 @@ decode; known-unreachable receivers are recorded as losses without
 touching their loss process.  Transmission and delivery accounting use
 :class:`collections.Counter` with O(1) aggregate views instead of
 rescanning all keys.
+
+Two further fast paths ride on top:
+
+* **Batched outcomes** — processes exposing ``loss_eps(t)`` (state
+  advance separated from the coin flip) have their per-receiver
+  uniforms drawn from one medium-owned RNG block instead of N private
+  buffered streams; the per-link *state* randomness (burst chains,
+  traces) keeps its own streams, so runs stay deterministic for a
+  seed, but the realization differs from draw-per-process code the
+  same way PR 1's in-process batching did.  ``outcome_batch=0``
+  restores per-process draws.
+* **Merged transmissions** — when a broadcast send meets an idle
+  medium with no contender in backoff, the attempt/transmit/resolve
+  triple collapses into a single heap event at the frame's end time:
+  the channel is claimed immediately (``busy_until``), so later
+  senders defer exactly as if the attempt event had fired.  Only
+  genuinely contended frames pay the classic two-event path.
 """
 
 from collections import Counter, deque
@@ -66,6 +83,9 @@ class LinkTable:
         self._links = {}
         self._factory = factory
         self._by_src = {}
+        #: Bumped on every registration so callers caching derived
+        #: state (the medium's resolve-entry rows) notice new links.
+        self.version = 0
         self.reach_refresh_s = float(reach_refresh_s)
         # src -> (expires_at, frozenset(reachable ids),
         #         ((dst, process), ...) sorted by dst)
@@ -82,6 +102,7 @@ class LinkTable:
         # The transmitter's neighborhood changed; recompute on next use.
         self._reach.pop(src, None)
         self._reach_split.pop(src, None)
+        self.version += 1
 
     def set_link(self, src, dst, process, symmetric=False):
         """Register the loss process for ``src -> dst``.
@@ -214,11 +235,19 @@ class WirelessMedium:
         mac_retry_limit: MAC retransmissions for *unicast* sends (the
             Section 5.1 ablation); broadcast frames never retry.
         max_cw_slots: exponential-backoff ceiling for unicast mode.
+        outcome_rng: stream for the batched per-receiver loss draws;
+            defaults to *rng*.
+        outcome_batch: uniforms pre-drawn per block for the batched
+            delivery outcomes; 0 restores per-process draws.
+        merge_uncontended: collapse the attempt/transmit/resolve triple
+            of an uncontended broadcast send into one heap event.
     """
 
     def __init__(self, sim, links, rng, bitrate_bps=1_000_000.0,
                  plcp_overhead_s=192e-6, difs_s=50e-6, slot_time_s=20e-6,
-                 backoff_slots=31, mac_retry_limit=4, max_cw_slots=1023):
+                 backoff_slots=31, mac_retry_limit=4, max_cw_slots=1023,
+                 outcome_rng=None, outcome_batch=256,
+                 merge_uncontended=True):
         self.sim = sim
         self.links = links
         self.rng = rng
@@ -233,12 +262,23 @@ class WirelessMedium:
         self._nodes = {}
         self._queues = {}
         self._attempt_pending = {}
+        self._in_flight = {}  # merged frames claimed off their queue
+        self._attempts_outstanding = 0
         self._cw = {}  # unicast contention window per node
         self._busy_until = 0.0
         self._active = []  # end times of frames currently in the air
         self.observers = []
         self._backoff_buf = None
         self._backoff_i = 0
+        self.merge_uncontended = bool(merge_uncontended)
+        self._outcome_rng = outcome_rng if outcome_rng is not None else rng
+        self._outcome_block = max(int(outcome_batch), 0)
+        self._outcome_buf = ()
+        self._outcome_i = 0
+        # src -> (reachability tuple, [(receiver_id, node, loss_eps,
+        # process), ...]): node handles and eps accessors resolved once
+        # per reachability refresh instead of per frame.
+        self._entry_cache = {}
 
         # Counters: transmissions on the vehicle-BS channel, per node
         # and frame kind, for the Figure 12 efficiency accounting.
@@ -261,7 +301,9 @@ class WirelessMedium:
         self._nodes[node.node_id] = node
         self._queues[node.node_id] = deque()
         self._attempt_pending[node.node_id] = False
+        self._in_flight[node.node_id] = 0
         self._cw[node.node_id] = self.backoff_slots
+        self._entry_cache.clear()
 
     def add_observer(self, observer):
         self.observers.append(observer)
@@ -307,8 +349,14 @@ class WirelessMedium:
         self._schedule_attempt(transmitter_id)
 
     def queue_length(self, transmitter_id):
-        """Frames waiting (or in backoff) at the given node."""
-        return len(self._queues[transmitter_id])
+        """Frames waiting, in backoff, or in the air at the given node.
+
+        A frame claimed by the merged fast path leaves the python deque
+        at claim time but still counts here until it resolves, so the
+        one-frame-at-the-interface pacing (Section 4.8) is unchanged.
+        """
+        return len(self._queues[transmitter_id]) \
+            + self._in_flight[transmitter_id]
 
     def _draw_backoff(self, window):
         """Backoff slot count, uniform in ``[0, window]``.
@@ -332,18 +380,46 @@ class WirelessMedium:
     def _schedule_attempt(self, transmitter_id):
         if self._attempt_pending[transmitter_id]:
             return
-        if not self._queues[transmitter_id]:
+        queue = self._queues[transmitter_id]
+        if not queue:
             return
-        self._attempt_pending[transmitter_id] = True
         now = self.sim.now
+        if (self.merge_uncontended and self._attempts_outstanding == 0
+                and now >= self._busy_until):
+            # Nothing is in the air and nobody is in backoff: the
+            # attempt's busy check is guaranteed to pass, so transmit
+            # bookkeeping can ride the resolve event.  The channel is
+            # claimed immediately — senders arriving during our DIFS +
+            # backoff defer behind us instead of contending (a timing
+            # ambiguity inside one contention window; collisions were
+            # already impossible between these frames because the
+            # later attempt would have seen the medium busy).
+            frame, unicast_to, attempt = queue[0]
+            if unicast_to is None:
+                queue.popleft()
+                self._in_flight[transmitter_id] += 1
+                window = self._cw[transmitter_id]
+                backoff = self._draw_backoff(window) * self.slot_time
+                start = now + self.difs + backoff
+                end = start + self.airtime(frame.size_bytes)
+                self._busy_until = end
+                self.sim.schedule_fire_at(
+                    end, self._merged_resolve, transmitter_id, frame,
+                    start,
+                )
+                return
+        self._attempt_pending[transmitter_id] = True
+        self._attempts_outstanding += 1
         idle_at = max(now, self._busy_until)
         window = self._cw[transmitter_id]
         backoff = self._draw_backoff(window) * self.slot_time
         attempt_at = idle_at + self.difs + backoff
-        self.sim.schedule_at(attempt_at, self._attempt, transmitter_id)
+        self.sim.schedule_fire_at(attempt_at, self._attempt,
+                                  transmitter_id)
 
     def _attempt(self, transmitter_id):
         self._attempt_pending[transmitter_id] = False
+        self._attempts_outstanding -= 1
         if not self._queues[transmitter_id]:
             return
         now = self.sim.now
@@ -355,6 +431,28 @@ class WirelessMedium:
             self._queues[transmitter_id].popleft()
         self._transmit(transmitter_id, frame, unicast_to, attempt)
         # Next queued frame (if any) contends afresh.
+        self._schedule_attempt(transmitter_id)
+
+    def _merged_resolve(self, transmitter_id, frame, start):
+        """Single-event tail of an uncontended merged transmission."""
+        self._in_flight[transmitter_id] -= 1
+        end = self.sim.now
+        # Claim invariants: the medium was idle with no attempts
+        # outstanding, and ``busy_until`` blocked every later sender,
+        # so no frame can overlap ours.
+        active = self._active
+        if active:
+            active = [e for e in active if e > start]
+        active.append(end)
+        self._active = active
+        kind = frame.kind_value
+        self.tx_count[(transmitter_id, kind)] += 1
+        self._tx_by_kind[kind] += 1
+        self._tx_by_node[transmitter_id] += 1
+        self._tx_total += 1
+        for obs in self.observers:
+            obs.on_transmit(transmitter_id, frame, start, end)
+        self._resolve(transmitter_id, frame, start, False)
         self._schedule_attempt(transmitter_id)
 
     def _transmit(self, transmitter_id, frame, unicast_to=None,
@@ -386,8 +484,39 @@ class WirelessMedium:
             # we corrupt this frame only.  The earlier frame's
             # deliveries were decided at its start.
             pass
-        self.sim.schedule_at(end, self._resolve, transmitter_id, frame, start,
-                             collided, unicast_to, attempt)
+        self.sim.schedule_fire_at(end, self._resolve, transmitter_id,
+                                  frame, start, collided, unicast_to,
+                                  attempt)
+
+    def _resolve_entries(self, transmitter_id, t):
+        """Per-transmitter ``(receiver_id, node, loss_eps, process)``
+        rows for the current reachability refresh, resolved once.
+
+        The rows piggyback on the reachability entry's expiry, so the
+        per-frame cost is one dict lookup and a float compare; node
+        handles and eps accessors are re-resolved only when the index
+        refreshes.
+        """
+        links = self.links
+        cached = self._entry_cache.get(transmitter_id)
+        if cached is not None and t < cached[0] \
+                and cached[2] == links.version:
+            return cached[1]
+        expires, _, pairs = links._reach_entry(transmitter_id, t)
+        nodes = self._nodes
+        use_eps = self._outcome_block > 0
+        entries = []
+        for receiver_id, process in pairs:
+            if receiver_id == transmitter_id:
+                continue
+            node = nodes.get(receiver_id)
+            if node is None:
+                continue
+            eps = getattr(process, "loss_eps", None) if use_eps else None
+            entries.append((receiver_id, node, eps, process))
+        self._entry_cache[transmitter_id] = (expires, entries,
+                                             links.version)
+        return entries
 
     def _resolve(self, transmitter_id, frame, start, collided,
                  unicast_to=None, attempt=0):
@@ -397,27 +526,39 @@ class WirelessMedium:
         delivered_count = self.delivered_count
         kind = frame.kind_value
         now = self.sim.now
-        if self.links.reach_refresh_s > 0.0 and not observers \
+        if links.reach_refresh_s > 0.0 and not observers \
                 and links._factory is None:
             # Fast path: no observers to notify about losses and no
             # factory that could supply unindexed links, so only the
             # in-range receivers need any work at all.  Receivers are
             # visited in sorted id order for reproducible delivery
-            # order.
-            nodes = self._nodes
-            for receiver_id, process in \
-                    links.reachable_links(transmitter_id, start):
-                if receiver_id == transmitter_id:
-                    continue
-                node = nodes.get(receiver_id)
-                if node is None:
-                    continue
-                if collided or process.is_lost(start):
+            # order.  Loss outcomes for eps-capable processes come
+            # from one batched medium-owned uniform block; a collided
+            # frame never consumes draws (mirroring the scalar
+            # short-circuit).
+            if collided:
+                return self._finish_resolve(transmitter_id, frame,
+                                            unicast_to, attempt, False)
+            buf = self._outcome_buf
+            bi = self._outcome_i
+            for receiver_id, node, eps_fn, process in \
+                    self._resolve_entries(transmitter_id, start):
+                if eps_fn is not None:
+                    if bi >= len(buf):
+                        buf = self._outcome_buf = self._outcome_rng \
+                            .random(self._outcome_block).tolist()
+                        bi = 0
+                    u = buf[bi]
+                    bi += 1
+                    if u < eps_fn(start):
+                        continue
+                elif process.is_lost(start):
                     continue
                 if receiver_id == unicast_to:
                     unicast_delivered = True
                 delivered_count[(receiver_id, kind)] += 1
                 node.on_receive(frame, transmitter_id)
+            self._outcome_i = bi
             return self._finish_resolve(transmitter_id, frame,
                                         unicast_to, attempt,
                                         unicast_delivered)

@@ -17,6 +17,10 @@ ViFi's retransmission and relay timers.  The simulator keeps a live
 (non-cancelled) event count so :attr:`Simulator.pending` is O(1), and
 compacts the heap whenever tombstones outnumber live events, so
 cancel-heavy runs do not bloat the queue.
+
+Hot paths that never cancel (frame attempts/resolutions, slotted
+beacon batches) can use :meth:`Simulator.schedule_fire_at`, which skips
+the handle allocation entirely and stores a raw tuple on the heap.
 """
 
 import heapq
@@ -118,6 +122,26 @@ class Simulator:
         self._live += 1
         return handle
 
+    def schedule_fire_at(self, time, callback, *args):
+        """Schedule a fire-and-forget event at absolute *time*.
+
+        No :class:`EventHandle` is created, so the event cannot be
+        cancelled — in exchange the hot paths that never cancel (frame
+        attempts and resolutions, slotted beacon emissions) skip an
+        object allocation per event.  The queue stores a raw
+        ``(time, seq, None, callback, args)`` tuple; ``seq`` is unique,
+        so heap ordering never compares past it.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, now is {self._now:.6f}"
+            )
+        heapq.heappush(
+            self._queue,
+            (float(time), next(self._seq), None, callback, args),
+        )
+        self._live += 1
+
     def _on_cancel(self):
         """A queued event was tombstoned; compact if they dominate."""
         self._live -= 1
@@ -132,7 +156,8 @@ class Simulator:
         Mutates the queue in place so references held by a running
         event loop stay valid.
         """
-        self._queue[:] = [e for e in self._queue if not e[2].cancelled]
+        self._queue[:] = [e for e in self._queue
+                          if e[2] is None or not e[2].cancelled]
         heapq.heapify(self._queue)
 
     def run(self, until=None, max_events=None):
@@ -154,18 +179,24 @@ class Simulator:
             while queue:
                 if max_events is not None and processed >= max_events:
                     break
-                time, _, head = queue[0]
-                if head.cancelled:
+                item = queue[0]
+                head = item[2]
+                if head is not None and head.cancelled:
                     heappop(queue)
                     continue
+                time = item[0]
                 if until is not None and time > until:
                     break
                 heappop(queue)
                 self._live -= 1
                 self._now = time
-                callback, args = head.callback, head.args
-                head.callback = None
-                head.args = None
+                if head is None:
+                    callback = item[3]
+                    args = item[4]
+                else:
+                    callback, args = head.callback, head.args
+                    head.callback = None
+                    head.args = None
                 callback(*args)
                 processed += 1
                 self.events_processed += 1
@@ -178,14 +209,19 @@ class Simulator:
     def step(self):
         """Process exactly one pending event.  Returns False if idle."""
         while self._queue:
-            time, _, head = heapq.heappop(self._queue)
-            if head.cancelled:
+            item = heapq.heappop(self._queue)
+            head = item[2]
+            if head is not None and head.cancelled:
                 continue
             self._live -= 1
-            self._now = time
-            callback, args = head.callback, head.args
-            head.callback = None
-            head.args = None
+            self._now = item[0]
+            if head is None:
+                callback = item[3]
+                args = item[4]
+            else:
+                callback, args = head.callback, head.args
+                head.callback = None
+                head.args = None
             callback(*args)
             self.events_processed += 1
             return True
@@ -198,9 +234,10 @@ class Simulator:
 
     def peek_time(self):
         """Time of the next live event, or ``None`` when idle."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2] is not None and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
 
     def __repr__(self):
         return f"Simulator(now={self._now:.6f}, pending={self.pending})"

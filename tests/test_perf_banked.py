@@ -1,0 +1,424 @@
+"""Correctness tests for the banked/batched/parallel fast paths (PR 2).
+
+Covers the guarantees the second round of perf work leans on:
+
+* ``LinkBank`` fills member caches with values matching per-link scalar
+  evaluation to float tolerance, over the same RNG streams;
+* slot-aligned beacon batching preserves the nominal due chain (the
+  estimator's rate denominators) and delays emissions by at most one
+  slot, so per-second beacon counts are preserved up to boundary
+  crossers;
+* ``loss_eps`` separates state advance from the coin flip without
+  changing the steered chain's mean;
+* the medium's merged transmissions deliver the same frames with fewer
+  heap events, and batched outcomes respect probability-0/1 links;
+* ``run_trips`` merges process-pool results identically to a serial
+  sweep (the parallel runner's determinism contract).
+"""
+
+import math
+
+import pytest
+
+from repro.core.node import BeaconSlotter
+from repro.core.protocol import ViFiConfig, ViFiSimulation
+from repro.experiments.common import (
+    run_protocol_cbr,
+    run_trips,
+    vanlan_cbr_trip,
+    vanlan_protocol,
+)
+from repro.net.channel import BernoulliLoss, SteeredGilbertElliott
+from repro.net.medium import LinkTable, WirelessMedium
+from repro.net.packet import DataPacket, Direction
+from repro.net.propagation import LinkBank, LinkStateCache
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.testbeds.vanlan import VEHICLE_ID, VanLanTestbed
+
+
+# ----------------------------------------------------------------------
+# LinkBank banked-vs-scalar equivalence
+# ----------------------------------------------------------------------
+
+def _banked_and_scalar(seed, quantum_s=0.02):
+    """Identically seeded banked and scalar link stacks."""
+    a = VanLanTestbed(seed=seed)
+    b = VanLanTestbed(seed=seed)
+    motion_a, motion_b = a.vehicle_motion(), b.vehicle_motion()
+    links_a = [a.link_model(0, bs, motion_a) for bs in a.deployment.bs_ids]
+    banked = LinkBank(links_a, quantum_s=quantum_s).wrap()
+    scalar = [LinkStateCache(b.link_model(0, bs, motion_b),
+                             quantum_s=quantum_s)
+              for bs in b.deployment.bs_ids]
+    return banked, scalar
+
+
+class TestLinkBankEquivalence:
+    def test_matches_scalar_at_identical_times(self):
+        """Property: banked rssi/prob == scalar to float tolerance.
+
+        Querying both stacks at identical (monotone, irregular) times
+        makes the bucket sample points coincide, so any difference is
+        pure arithmetic: the banked spatial row-sum versus the scalar
+        field's vector sum.
+        """
+        banked, scalar = _banked_and_scalar(seed=3)
+        t = 0.0
+        step = 0.0
+        for k in range(2500):
+            step = (step + 0.0137) % 0.031
+            t += step + 1e-4
+            for cached, raw in zip(banked, scalar):
+                assert cached.rssi(t) == pytest.approx(
+                    raw.rssi(t), abs=1e-9)
+                assert cached.reception_prob(t) == pytest.approx(
+                    raw.reception_prob(t), abs=1e-12)
+
+    @pytest.mark.slow
+    def test_matches_scalar_over_full_trip(self):
+        """The same property, densely over a whole trip duration."""
+        banked, scalar = _banked_and_scalar(seed=9)
+        duration = VanLanTestbed(seed=9).vehicle_motion().route.duration
+        n = int(duration / 0.02)
+        for k in range(n):
+            t = k * 0.02 + 0.003
+            for cached, raw in zip(banked, scalar):
+                assert cached.reception_prob(t) == pytest.approx(
+                    raw.reception_prob(t), abs=1e-12)
+
+    def test_bank_requires_shared_profile(self):
+        testbed = VanLanTestbed(seed=1)
+        motion = testbed.vehicle_motion()
+        links = [testbed.link_model(0, bs, motion)
+                 for bs in testbed.deployment.bs_ids[:2]]
+        links[1].profile = type(links[1].profile)()  # a different object
+        with pytest.raises(ValueError):
+            LinkBank(links)
+
+    def test_quantum_zero_member_ignores_bank(self):
+        """quantum=0 must stay bitwise-scalar even inside a bank."""
+        testbed = VanLanTestbed(seed=2)
+        motion = testbed.vehicle_motion()
+        links = [testbed.link_model(0, bs, motion)
+                 for bs in testbed.deployment.bs_ids]
+        bank = LinkBank(links, quantum_s=0.0)
+        assert all(cache.bank is None for cache in bank.wrap())
+
+
+# ----------------------------------------------------------------------
+# Slot-aligned beacon batching
+# ----------------------------------------------------------------------
+
+class _StubBeaconNode:
+    """Minimal node for the slotter: records emissions, replays dues."""
+
+    def __init__(self, sim, phase, interval, rng):
+        self.sim = sim
+        self.interval = interval
+        self.rng = rng
+        self.due_chain = [phase]
+        self.emissions = []
+
+    def _emit_beacon(self, due):
+        self.emissions.append(self.sim.now)
+        jitter = self.rng.uniform(-0.05, 0.05) * self.interval
+        next_due = due + max(self.interval + jitter, 1e-4)
+        self.due_chain.append(next_due)
+        return next_due
+
+
+class TestBeaconSlotter:
+    SLOT = 0.02
+    INTERVAL = 0.1
+    HORIZON = 30.0
+
+    def _run_slotted(self, n_nodes=8, seed=5):
+        sim = Simulator()
+        slotter = BeaconSlotter(sim, self.SLOT)
+        rngs = RngRegistry(seed)
+        nodes = [
+            _StubBeaconNode(sim, 0.01 + 0.011 * i, self.INTERVAL,
+                            rngs.stream("jitter", i))
+            for i in range(n_nodes)
+        ]
+        for node in nodes:
+            slotter.add(node, node.due_chain[0])
+        sim.run(until=self.HORIZON)
+        return nodes
+
+    def _legacy_dues(self, n_nodes=8, seed=5):
+        """The due chain per-node timers would produce (same draws)."""
+        rngs = RngRegistry(seed)
+        chains = []
+        for i in range(n_nodes):
+            rng = rngs.stream("jitter", i)
+            due = 0.01 + 0.011 * i
+            chain = [due]
+            while due <= self.HORIZON:
+                jitter = rng.uniform(-0.05, 0.05) * self.INTERVAL
+                due = due + max(self.INTERVAL + jitter, 1e-4)
+                chain.append(due)
+            chains.append(chain)
+        return chains
+
+    def test_due_chain_matches_legacy_timers(self):
+        """Nominal dues — the estimator's denominators — are unchanged."""
+        nodes = self._run_slotted()
+        legacy = self._legacy_dues()
+        for node, chain in zip(nodes, legacy):
+            n = min(len(node.due_chain), len(chain))
+            assert node.due_chain[:n] == pytest.approx(chain[:n],
+                                                       abs=0.0)
+
+    def test_emissions_at_most_one_slot_late(self):
+        nodes = self._run_slotted()
+        for node in nodes:
+            for due, emitted in zip(node.due_chain, node.emissions):
+                assert due - 1e-9 <= emitted <= due + self.SLOT + 1e-9
+                # Slot alignment: emissions land on slot boundaries.
+                slots = emitted / self.SLOT
+                assert abs(slots - round(slots)) < 1e-6
+
+    def test_per_second_counts_preserved(self):
+        """Per-slot beacon counts shift by at most the boundary crossers."""
+        nodes = self._run_slotted()
+        for node in nodes:
+            emitted = [t for t in node.emissions if t < self.HORIZON]
+            dues = [t for t in node.due_chain if t < self.HORIZON]
+            assert len(emitted) in (len(dues), len(dues) - 1)
+            for second in range(int(self.HORIZON)):
+                due_count = sum(1 for t in dues
+                                if second <= t < second + 1)
+                emit_count = sum(1 for t in emitted
+                                 if second <= t < second + 1)
+                assert abs(due_count - emit_count) <= 1
+
+    def test_later_registration_with_earlier_phase_not_delayed(self):
+        """A node registered after the slotter armed still emits its
+        first beacon within one slot of its due time (regression: the
+        first-armed slot used to gate every later registrant)."""
+        sim = Simulator()
+        slotter = BeaconSlotter(sim, self.SLOT)
+        rngs = RngRegistry(3)
+        late_phase_first = _StubBeaconNode(sim, 0.09, self.INTERVAL,
+                                           rngs.stream("a"))
+        early_phase_second = _StubBeaconNode(sim, 0.005, self.INTERVAL,
+                                             rngs.stream("b"))
+        slotter.add(late_phase_first, 0.09)
+        slotter.add(early_phase_second, 0.005)
+        sim.run(until=2.0)
+        assert early_phase_second.emissions[0] <= 0.005 + self.SLOT + 1e-9
+        for node in (late_phase_first, early_phase_second):
+            for due, emitted in zip(node.due_chain, node.emissions):
+                assert due - 1e-9 <= emitted <= due + self.SLOT + 1e-9
+
+    def test_batches_share_events(self):
+        """One heap event serves every beacon due in a slot."""
+        sim = Simulator()
+        slotter = BeaconSlotter(sim, self.SLOT)
+        rngs = RngRegistry(0)
+        nodes = [
+            _StubBeaconNode(sim, 0.001 * (i + 1), self.INTERVAL,
+                            rngs.stream("j", i))
+            for i in range(10)
+        ]
+        for node in nodes:
+            slotter.add(node, node.due_chain[0])
+        sim.run(until=1.0)
+        emitted = sum(len(node.emissions) for node in nodes)
+        # All ten first beacons were due inside one slot; every batch
+        # of co-slotted beacons costs one event, so far fewer events
+        # than beacons were processed.
+        assert emitted >= 100
+        assert sim.events_processed <= emitted / 2
+
+
+class TestSlottedProtocolRun:
+    def _beacon_counts(self, slot_s, duration_s=45.0):
+        testbed = VanLanTestbed(seed=4)
+        motion = testbed.vehicle_motion()
+        table = testbed.build_link_table(0, motion)
+        config = ViFiConfig(beacon_slot_s=slot_s)
+        sim = ViFiSimulation(testbed.deployment.bs_ids, table,
+                             config=config, seed=0,
+                             vehicle_id=VEHICLE_ID)
+        cbr = run_protocol_cbr(sim, duration_s)
+        counts = {
+            node_id: sim.medium.transmissions(kind="beacon",
+                                              node_id=node_id)
+            for node_id in sim.medium.node_ids
+        }
+        delivered = len(cbr.up_deliveries) + len(cbr.down_deliveries)
+        return counts, delivered, sim.sim.events_processed
+
+    def test_slotting_preserves_beacon_counts_and_traffic(self):
+        slotted, delivered_s, events_s = self._beacon_counts(
+            ViFiConfig.beacon_slot_s)
+        legacy, delivered_l, events_l = self._beacon_counts(0.0)
+        # The nominal due chains are identical, so per-node beacon
+        # transmissions may differ only by emissions straddling the
+        # run's end.
+        for node_id, count in legacy.items():
+            assert abs(count - slotted[node_id]) <= 1
+        # Both runs carried real traffic.  (Events saved by batching
+        # are partly offset by the contention the co-slotted senders
+        # create; the default slot is chosen so the net is a saving on
+        # the pinned workloads — asserted loosely here because short
+        # runs are noisy in which effect dominates.)
+        assert delivered_s > 50 and delivered_l > 50
+        assert events_s < events_l * 1.05
+
+
+# ----------------------------------------------------------------------
+# loss_eps and batched outcomes
+# ----------------------------------------------------------------------
+
+class TestLossEps:
+    def test_steered_static_mean_preserved(self):
+        rngs = RngRegistry(7)
+        for target in (0.0, 0.05, 0.4, 0.9, 1.0):
+            process = SteeredGilbertElliott(target,
+                                            rng=rngs.stream("s", target))
+            eps_good, eps_bad = process._static_eps
+            pi_b = process._chain.pi_bad
+            mean = pi_b * eps_bad + (1 - pi_b) * eps_good
+            assert mean == pytest.approx(target, abs=1e-12)
+            assert process.loss_eps(0.0) in (eps_good, eps_bad)
+
+    def test_loss_eps_tracks_link_state_cache(self):
+        testbed = VanLanTestbed(seed=6)
+        motion = testbed.vehicle_motion()
+        cache = LinkStateCache(testbed.link_model(0, 1, motion),
+                               quantum_s=0.02)
+        process = SteeredGilbertElliott(cache.loss_prob,
+                                        rng=RngRegistry(1).stream("c"))
+        assert process._link_state is cache
+        for k in range(200):
+            t = k * 0.013
+            eps = process.loss_eps(t)
+            assert 0.0 <= eps <= 1.0
+            # The split preserves the cache's current mean.
+            eps_good, eps_bad = process._last_split
+            pi_b = process._chain.pi_bad
+            mean = pi_b * eps_bad + (1 - pi_b) * eps_good
+            assert mean == pytest.approx(cache.loss_prob(t), abs=1e-12)
+
+    def test_bernoulli_extremes_through_batched_medium(self):
+        sim = Simulator()
+        rngs = RngRegistry(11)
+        table = LinkTable()
+        table.set_link(0, 1, BernoulliLoss(0.0, rngs.stream("ok")))
+        table.set_link(0, 2, BernoulliLoss(1.0, rngs.stream("bad")))
+        medium = WirelessMedium(sim, table, rngs.stream("m"),
+                                outcome_batch=64)
+
+        class _Node:
+            def __init__(self, node_id):
+                self.node_id = node_id
+                self.received = []
+
+            def on_receive(self, frame, transmitter_id):
+                self.received.append(frame.pkt_id)
+
+        nodes = [_Node(i) for i in range(3)]
+        for node in nodes:
+            medium.attach(node)
+        for pkt_id in range(20):
+            medium.send(0, DataPacket(pkt_id=pkt_id, src=0, dst=1,
+                                      direction=Direction.UPSTREAM,
+                                      size_bytes=100))
+        sim.run(until=5.0)
+        assert nodes[1].received == list(range(20))
+        assert nodes[2].received == []
+
+
+class TestMergedTransmissions:
+    def _one_frame_run(self, merge):
+        sim = Simulator()
+        rngs = RngRegistry(13)
+        table = LinkTable()
+        table.set_link(0, 1, BernoulliLoss(0.0, rngs.stream("l")))
+        medium = WirelessMedium(sim, table, rngs.stream("m"),
+                                merge_uncontended=merge)
+
+        class _Node:
+            def __init__(self, node_id):
+                self.node_id = node_id
+                self.received = []
+
+            def on_receive(self, frame, transmitter_id):
+                self.received.append((frame.pkt_id, sim.now))
+
+        sender, receiver = _Node(0), _Node(1)
+        medium.attach(sender)
+        medium.attach(receiver)
+        medium.send(0, DataPacket(pkt_id=0, src=0, dst=1,
+                                  direction=Direction.UPSTREAM,
+                                  size_bytes=400))
+        sim.run(until=2.0)
+        return receiver.received, medium.transmissions(), \
+            sim.events_processed
+
+    def test_merge_delivers_identically_with_fewer_events(self):
+        merged_rx, merged_tx, merged_events = self._one_frame_run(True)
+        classic_rx, classic_tx, classic_events = self._one_frame_run(False)
+        assert merged_tx == classic_tx == 1
+        assert merged_rx == classic_rx  # same frame, same instant
+        assert merged_events < classic_events
+
+    def test_queue_length_counts_in_flight_frame(self):
+        sim = Simulator()
+        rngs = RngRegistry(17)
+        table = LinkTable()
+        table.set_link(0, 1, BernoulliLoss(0.0, rngs.stream("l")))
+        medium = WirelessMedium(sim, table, rngs.stream("m"),
+                                merge_uncontended=True)
+
+        class _Node:
+            def __init__(self, node_id):
+                self.node_id = node_id
+
+            def on_receive(self, frame, transmitter_id):
+                pass
+
+        medium.attach(_Node(0))
+        medium.attach(_Node(1))
+        medium.send(0, DataPacket(pkt_id=0, src=0, dst=1,
+                                  direction=Direction.UPSTREAM,
+                                  size_bytes=400))
+        # Claimed off the deque immediately, but still pending at the
+        # interface until its resolve event fires.
+        assert medium.queue_length(0) == 1
+        sim.run(until=2.0)
+        assert medium.queue_length(0) == 0
+
+
+# ----------------------------------------------------------------------
+# Parallel trip runner
+# ----------------------------------------------------------------------
+
+class TestRunTrips:
+    def test_serial_matches_inline(self):
+        tasks = [{"trip": t, "duration_s": 8.0} for t in range(2)]
+        inline = [vanlan_cbr_trip(task) for task in tasks]
+        serial = run_trips(vanlan_cbr_trip, tasks, workers=1)
+        assert serial == inline
+
+    @pytest.mark.slow
+    def test_pool_matches_serial(self):
+        """The determinism contract: worker count never changes results."""
+        tasks = [{"trip": t, "duration_s": 12.0} for t in range(3)]
+        serial = run_trips(vanlan_cbr_trip, tasks, workers=1)
+        pooled = run_trips(vanlan_cbr_trip, tasks, workers=2)
+        assert pooled == serial
+        assert [r["trip"] for r in pooled] == [0, 1, 2]
+        assert all(r["events"] > 1000 for r in pooled)
+
+    def test_worker_results_merge_in_task_order(self):
+        tasks = [3, 1, 2]
+        assert run_trips(_square, tasks, workers=2) == [9, 1, 4]
+
+
+def _square(x):
+    return x * x

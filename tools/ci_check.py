@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Single CI entry point: tier-1 tests, slow equivalence tests, perf gate.
+
+Usage::
+
+    python tools/ci_check.py [--skip-bench] [--skip-slow]
+
+Runs, in order:
+
+1. the tier-1 test suite (``pytest -x -q`` — fast tests only; the
+   ``slow`` and ``bench`` markers are excluded by ``pytest.ini``),
+2. the slow correctness tests (``pytest -m slow``), which include the
+   banked-vs-scalar and batching equivalence properties,
+3. the perf gate (``python -m repro bench`` via ``tools/perf_smoke.py``),
+   which rewrites ``BENCH_perf.json`` and fails on a tracked-rate
+   regression beyond tolerance.
+
+Exits non-zero as soon as a stage fails, and prints a one-line summary
+per stage either way.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _run(label, argv, env_src=True):
+    import os
+    env = dict(os.environ)
+    if env_src:
+        src = str(REPO_ROOT / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing \
+            else src + os.pathsep + existing
+    t0 = time.perf_counter()
+    result = subprocess.run(argv, cwd=REPO_ROOT, env=env)
+    wall = time.perf_counter() - t0
+    status = "ok" if result.returncode == 0 else \
+        f"FAILED (exit {result.returncode})"
+    print(f"[ci_check] {label}: {status} in {wall:.1f} s", flush=True)
+    return result.returncode
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--skip-slow", action="store_true",
+                        help="skip the slow equivalence tests")
+    parser.add_argument("--skip-bench", action="store_true",
+                        help="skip the perf gate")
+    args = parser.parse_args(argv)
+
+    stages = [
+        ("tier-1 tests",
+         [sys.executable, "-m", "pytest", "-x", "-q"]),
+    ]
+    if not args.skip_slow:
+        stages.append((
+            "slow equivalence tests",
+            [sys.executable, "-m", "pytest", "-q", "-m", "slow",
+             "--override-ini", "addopts="],
+        ))
+    if not args.skip_bench:
+        stages.append((
+            "perf gate (python -m repro bench)",
+            [sys.executable, "-m", "repro", "bench"],
+        ))
+
+    for label, cmd in stages:
+        code = _run(label, cmd)
+        if code != 0:
+            return code
+    print("[ci_check] all stages passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

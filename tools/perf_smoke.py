@@ -4,14 +4,20 @@
 Usage::
 
     PYTHONPATH=src python tools/perf_smoke.py [--repeats N]
-        [--tolerance 0.2] [--no-write]
+        [--tolerance 0.2] [--no-write] [--no-scaling]
 
-Runs the pinned perf workloads (see ``repro.experiments.perf``),
-compares events/sec against the committed ``BENCH_perf.json``, rewrites
-the file with the fresh numbers, and exits non-zero when any workload
-regressed by more than ``--tolerance`` (default 20%).  Intended as the
-CI perf gate: wall-clock noise on shared runners is absorbed by the
-tolerance and the best-of-``--repeats`` policy.
+Runs the pinned perf workloads plus the multi-trip scaling sweep (see
+``repro.experiments.perf``), prints the per-workload deltas against the
+committed ``BENCH_perf.json``, rewrites the file with the fresh
+numbers, and exits non-zero when any workload regressed by more than
+``--tolerance`` (default 20%) on a tracked rate, or when the parallel
+sweep's outputs diverge from the serial sweep.  Intended as the CI perf
+gate: wall-clock noise on shared runners is absorbed by the tolerance
+and the best-of-``--repeats`` policy.
+
+A committed file whose workloads do not match the current pinned set
+(renamed or newly added workloads) is reported clearly and does not
+gate — fresh numbers simply establish the new baseline.
 
 Also available as ``python -m repro bench``.
 """
@@ -27,29 +33,108 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.experiments.perf import (  # noqa: E402
     BENCH_PATH,
     run_perf_suite,
+    run_trip_scaling,
     write_bench_file,
 )
 
+#: Rates gated against the committed numbers (higher is better).
+TRACKED_RATES = ("events_per_s", "sim_s_per_wall_s")
 
-def check_regressions(results, committed, tolerance):
-    """Return a list of human-readable regression messages."""
+
+def _delta(new, old):
+    """Signed fractional change, or ``None`` when either is missing."""
+    if not new or not old:
+        return None
+    return new / old - 1.0
+
+
+def compare_to_committed(results, committed, tolerance):
+    """Compare fresh records to the committed file.
+
+    Returns:
+        ``(failures, notes)`` — failure strings gate the exit code;
+        notes describe schema drift (missing / renamed / unmeasured
+        workloads) without failing the check.
+    """
     failures = []
+    notes = []
+    committed_workloads = committed.get("workloads")
+    if committed_workloads is None:
+        if committed:
+            notes.append("committed BENCH_perf.json has no 'workloads' "
+                         "entry; treating every workload as new")
+        return failures, notes
+    previous = {}
+    for entry in committed_workloads:
+        name = entry.get("workload")
+        if name is None:
+            notes.append("committed entry without a 'workload' name "
+                         "ignored")
+            continue
+        previous[name] = entry
+    measured = {record["workload"] for record in results}
+    for name in sorted(set(previous) - measured):
+        notes.append(
+            f"committed workload {name!r} is not in the current pinned "
+            f"set (renamed or retired); its baseline will be dropped "
+            f"on rewrite"
+        )
+    for record in results:
+        name = record["workload"]
+        old = previous.get(name)
+        if old is None:
+            notes.append(f"workload {name!r} has no committed baseline "
+                         f"yet; recording fresh numbers")
+            continue
+        for rate in TRACKED_RATES:
+            delta = _delta(record.get(rate), old.get(rate))
+            if delta is None:
+                if rate not in old:
+                    notes.append(
+                        f"{name}: committed entry lacks {rate!r} "
+                        f"(older schema); not gated on it"
+                    )
+                continue
+            if delta < -tolerance:
+                failures.append(
+                    f"{name}: {rate} {record[rate]:.1f} is "
+                    f"{-delta:.1%} below committed {old[rate]:.1f} "
+                    f"(tolerance {tolerance:.0%})"
+                )
+    return failures, notes
+
+
+def print_report(results, committed, scaling=None):
+    """Per-workload summary with deltas vs the committed numbers."""
     previous = {
-        entry["workload"]: entry
+        entry.get("workload"): entry
         for entry in committed.get("workloads", [])
+        if isinstance(entry, dict)
     }
     for record in results:
-        old = previous.get(record["workload"])
-        if old is None:
-            continue
-        floor = old["events_per_s"] * (1.0 - tolerance)
-        if record["events_per_s"] < floor:
-            failures.append(
-                f"{record['workload']}: {record['events_per_s']:.0f} ev/s "
-                f"< {floor:.0f} (committed {old['events_per_s']:.0f} "
-                f"- {tolerance:.0%} tolerance)"
-            )
-    return failures
+        old = previous.get(record["workload"]) or {}
+        deltas = []
+        for rate, label in (("events_per_s", "ev/s"),
+                            ("sim_s_per_wall_s", "sim-rate")):
+            delta = _delta(record.get(rate), old.get(rate))
+            if delta is not None:
+                deltas.append(f"{label} {delta:+.1%}")
+        speedup = record.get("speedup_vs_baseline")
+        extra = f"  ({speedup}x vs seed)" if speedup else ""
+        if deltas:
+            extra += "  [" + ", ".join(deltas) + "]"
+        print(f"{record['workload']:<20s} {record['events']:>7d} events  "
+              f"{record['wall_s']:>8.3f} s  "
+              f"{record['events_per_s']:>9.0f} ev/s  "
+              f"{record['sim_s_per_wall_s']:>7.1f}x real{extra}")
+    if scaling is not None:
+        same = "identical" if scaling["outputs_identical"] else "DIVERGED"
+        print(f"{scaling['workload']:<20s} {scaling['n_trips']} trips x "
+              f"{scaling['trip_duration_s']:.0f} s  serial "
+              f"{scaling['serial_wall_s']:.3f} s  parallel "
+              f"{scaling['parallel_wall_s']:.3f} s on "
+              f"{scaling['workers']} workers "
+              f"({scaling['parallel_speedup']}x, outputs {same})")
 
 
 def main(argv=None):
@@ -57,26 +142,34 @@ def main(argv=None):
     parser.add_argument("--repeats", type=int, default=2,
                         help="measurements per workload; best is kept")
     parser.add_argument("--tolerance", type=float, default=0.2,
-                        help="allowed fractional events/sec regression")
+                        help="allowed fractional rate regression")
     parser.add_argument("--no-write", action="store_true",
                         help="measure and compare without rewriting "
                              "BENCH_perf.json")
+    parser.add_argument("--no-scaling", action="store_true",
+                        help="skip the multi-trip scaling sweep")
     args = parser.parse_args(argv)
 
     committed = {}
     if BENCH_PATH.exists():
-        with open(BENCH_PATH) as handle:
-            committed = json.load(handle)
+        try:
+            with open(BENCH_PATH) as handle:
+                committed = json.load(handle)
+        except ValueError as error:
+            print(f"committed BENCH_perf.json is unreadable ({error}); "
+                  f"treating as empty", file=sys.stderr)
 
     results = run_perf_suite(repeats=args.repeats)
-    for record in results:
-        speedup = record.get("speedup_vs_baseline")
-        extra = f"  ({speedup}x vs seed baseline)" if speedup else ""
-        print(f"{record['workload']:<20s} {record['events']:>7d} events  "
-              f"{record['wall_s']:>8.3f} s  "
-              f"{record['events_per_s']:>9.0f} ev/s{extra}")
+    scaling = None if args.no_scaling else run_trip_scaling()
+    print_report(results, committed, scaling)
 
-    failures = check_regressions(results, committed, args.tolerance)
+    failures, notes = compare_to_committed(results, committed,
+                                           args.tolerance)
+    for note in notes:
+        print(f"note: {note}")
+    if scaling is not None and not scaling["outputs_identical"]:
+        failures.append("parallel multi-trip sweep outputs diverged "
+                        "from the serial sweep")
     if failures:
         # Keep the committed baseline intact so re-runs still fail
         # against the good numbers instead of a ratcheted-down file.
@@ -86,7 +179,7 @@ def main(argv=None):
               file=sys.stderr)
         return 1
     if not args.no_write:
-        path = write_bench_file(results)
+        path = write_bench_file(results, scaling=scaling)
         print(f"wrote {path}")
     print("perf smoke ok")
     return 0
