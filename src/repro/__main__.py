@@ -13,9 +13,9 @@ shape assertions and JSON outputs) use
 ``pytest benchmarks/ --benchmark-only``.
 
 ``bench`` runs the pinned performance workloads, rewrites the tracked
-``BENCH_perf.json``, and exits non-zero on a >20% events/sec
-regression against the committed numbers (see ``tools/perf_smoke.py``
-for the flags).
+``BENCH_perf.json``, and exits non-zero on a >20% sim-rate regression
+against the committed numbers (see ``tools/perf_smoke.py`` for the
+flags, including ``--profile`` for a cProfile top-N per workload).
 """
 
 import argparse

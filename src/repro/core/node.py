@@ -25,7 +25,7 @@ vehicle (upstream) and the anchor BS (downstream) via
 import heapq
 import itertools
 import math
-from collections import OrderedDict, deque
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.relaying import RelayContext
@@ -113,26 +113,47 @@ class BeaconSlotter:
 
 
 class _ReceiverState:
-    """Per-source reception memory: de-duplication and ack bitmaps."""
+    """Per-source reception memory: de-duplication and ack bitmaps.
+
+    An array-backed ring of the last ``_RECEIVE_MEMORY`` packet ids
+    plus a membership set: recording is two O(1) set operations and a
+    ring slot write, and the bitmap probes are set lookups — no
+    ordered-dict reshuffling on the per-packet path.  Eviction is
+    FIFO by first reception rather than LRU; with monotonically
+    increasing packet ids and a 512-deep window the two policies only
+    diverge after a duplicate arrives hundreds of fresh packets late,
+    far outside the 8-slot bitmap and retransmission horizons.
+    """
+
+    __slots__ = ("_ring", "_seen", "_head")
 
     def __init__(self):
-        self._received = OrderedDict()
+        self._ring = [None] * _RECEIVE_MEMORY
+        self._seen = set()
+        self._head = 0
 
     def record(self, pkt_id):
         """Record a reception; returns True when the id is new."""
-        fresh = pkt_id not in self._received
-        self._received[pkt_id] = True
-        self._received.move_to_end(pkt_id)
-        while len(self._received) > _RECEIVE_MEMORY:
-            self._received.popitem(last=False)
-        return fresh
+        seen = self._seen
+        if pkt_id in seen:
+            return False
+        seen.add(pkt_id)
+        head = self._head
+        ring = self._ring
+        evicted = ring[head]
+        if evicted is not None:
+            seen.discard(evicted)
+        ring[head] = pkt_id
+        self._head = (head + 1) % _RECEIVE_MEMORY
+        return True
 
     def missing_bitmap(self, pkt_id):
         """ViFi's 1-byte bitmap: which of the 8 prior ids are missing."""
+        seen = self._seen
         bitmap = 0
         for k in range(8):
             candidate = pkt_id - 1 - k
-            if candidate >= 0 and candidate not in self._received:
+            if candidate >= 0 and candidate not in seen:
                 bitmap |= 1 << k
         return bitmap
 
@@ -180,6 +201,13 @@ class LinkSender:
         # whether or not their retransmission budget is spent).
         self._retired = {}
         self._retx_event = None
+        # Lazily validated min-heap of (next_retx, pkt_id): pushed on
+        # every transmission, stale entries (completed packets, or
+        # superseded retransmission times) skipped at the top.  The
+        # timer re-arm — which runs on every pump, i.e. every frame
+        # completion — is then O(1) amortized instead of a scan over
+        # all pending packets.
+        self._retx_heap = []
         self.enqueued = 0
         self.delivered_acks = 0
         self.given_up = 0
@@ -219,6 +247,12 @@ class LinkSender:
 
     def pump(self):
         """Transmit the earliest ready packet if the interface is free."""
+        if not self.queue and not self._retx_heap:
+            # Nothing queued and no retransmission armed (the heap
+            # drains before the timer is ever cancelled): the pump
+            # call that follows every frame completion — including
+            # each beacon and ack — is a no-op.
+            return
         if not self.node.can_send_data():
             return
         medium = self.ctx.medium
@@ -258,6 +292,7 @@ class LinkSender:
         pend.tx_times[tx_id] = now
         pend.tx_count += 1
         pend.next_retx = now + self.node.retx_timer.timeout()
+        heapq.heappush(self._retx_heap, (pend.next_retx, packet.pkt_id))
         aux = self.node.current_aux_snapshot()
         self.ctx.stats.on_source_tx(
             tx_id=tx_id,
@@ -287,15 +322,29 @@ class LinkSender:
             self.ctx.stats.on_give_up((self.node.node_id, pkt_id))
 
     def _arm_retx_timer(self):
-        """Keep one timer armed at the earliest retransmission time."""
-        times = [p.next_retx for p in self.pending.values()
-                 if p.tx_count > 0 and not p.acked]
+        """Keep one timer armed at the earliest retransmission time.
+
+        The earliest time comes from the lazy heap: entries whose
+        packet completed, retired, or was retransmitted since (its
+        ``next_retx`` moved) are discarded from the top, so the heap's
+        first valid entry is exactly ``min(next_retx)`` over live
+        pending packets — the same wake time the old full scan found.
+        """
+        heap = self._retx_heap
+        pending = self.pending
+        while heap:
+            wake_at, pkt_id = heap[0]
+            pend = pending.get(pkt_id)
+            if pend is not None and not pend.acked and pend.tx_count > 0 \
+                    and pend.next_retx == wake_at:
+                break
+            heapq.heappop(heap)
         event = self._retx_event
-        if not times:
+        if not heap:
             if event is not None and event.active:
                 event.cancel()
             return
-        wake = max(min(times), self.ctx.sim.now)
+        wake = max(heap[0][0], self.ctx.sim.now)
         if event is not None and event.active:
             if event.time == wake:
                 return  # already armed at the right instant
@@ -382,13 +431,20 @@ class _NodeBase:
     def __init__(self, node_id, ctx):
         self.node_id = node_id
         self.ctx = ctx
+        self._sim = ctx.sim  # hot-path alias: reception dispatch
         config = ctx.config
         self.estimator = ctx.make_estimator(node_id)
+        self._note_beacon = self.estimator.on_beacon
         self.retx_timer = ctx.make_retx_timer()
         self._beacon_rng = ctx.rngs.stream("beacon-phase", node_id)
         self._phase = float(
             self._beacon_rng.uniform(0.0, config.beacon_interval)
         )
+        # Jitter draws batched per node (vectorized uniform consumes
+        # the generator exactly as repeated scalar draws, so the due
+        # chain is bit-for-bit the scalar chain).
+        self._jitter_buf = ()
+        self._jitter_i = 0
 
     def start(self):
         """Arm the beacon and per-second estimator timers.
@@ -402,15 +458,23 @@ class _NodeBase:
         if slotter is not None:
             slotter.add(self, self.ctx.sim.now + self._phase)
         else:
-            self.ctx.sim.schedule(self._phase, self._beacon_tick)
-        self.ctx.sim.schedule(1.0 + self._phase, self._second_tick)
+            self.ctx.sim.schedule_fire(self._phase, self._beacon_tick)
+        self.ctx.sim.schedule_fire(1.0 + self._phase, self._second_tick)
 
     # -- timers ----------------------------------------------------------
 
     def _next_beacon_due(self, due):
         """Advance the nominal due chain (same draws as the timers)."""
         interval = self.ctx.config.beacon_interval
-        jitter = self._beacon_rng.uniform(-0.05, 0.05) * interval
+        i = self._jitter_i
+        buf = self._jitter_buf
+        if i >= len(buf):
+            buf = self._jitter_buf = self._beacon_rng.uniform(
+                -0.05, 0.05, size=64
+            ).tolist()
+            i = 0
+        self._jitter_i = i + 1
+        jitter = buf[i] * interval
         return due + max(interval + jitter, 1e-4)
 
     def _emit_beacon(self, due):
@@ -421,13 +485,13 @@ class _NodeBase:
     def _beacon_tick(self):
         self._send_beacon()
         next_due = self._next_beacon_due(self.ctx.sim.now)
-        self.ctx.sim.schedule(next_due - self.ctx.sim.now,
-                              self._beacon_tick)
+        self.ctx.sim.schedule_fire(next_due - self.ctx.sim.now,
+                                   self._beacon_tick)
 
     def _second_tick(self):
         self.estimator.tick_second(self.ctx.sim.now)
         self.on_second()
-        self.ctx.sim.schedule(1.0, self._second_tick)
+        self.ctx.sim.schedule_fire(1.0, self._second_tick)
 
     def on_second(self):
         """Per-second hook for subclasses."""
@@ -451,7 +515,7 @@ class _NodeBase:
     def on_receive(self, frame, transmitter_id):
         kind = frame.kind
         if kind is _BEACON:
-            self.estimator.on_beacon(frame, self.ctx.sim.now)
+            self._note_beacon(frame, self._sim.now)
             self.on_beacon(frame)
         elif kind is _DATA:
             self.on_data(frame)
@@ -568,6 +632,19 @@ class VehicleNode(_NodeBase):
 
     # -- reception ------------------------------------------------------------
 
+    def on_receive(self, frame, transmitter_id):
+        # Specialized dispatch: the vehicle has no per-beacon protocol
+        # hook (designation tracking is the BS side), so beacon
+        # receptions — the bulk of all receptions — reduce to the
+        # estimator note.
+        kind = frame.kind
+        if kind is _BEACON:
+            self._note_beacon(frame, self._sim.now)
+        elif kind is _DATA:
+            self.on_data(frame)
+        elif kind is _ACK:
+            self.on_ack_frame(frame)
+
     def on_data(self, packet):
         if packet.dst != self.node_id:
             return  # the vehicle never relays
@@ -636,6 +713,20 @@ class BasestationNode(_NodeBase):
     _PRUNE_EVERY_S = 4
 
     # -- designation tracking (from vehicle beacons) -------------------------
+
+    def on_receive(self, frame, transmitter_id):
+        # Specialized dispatch: BS beacons (the majority of beacon
+        # receptions) carry no designations, so the protocol hook call
+        # is skipped for them after the estimator note.
+        kind = frame.kind
+        if kind is _BEACON:
+            self._note_beacon(frame, self._sim.now)
+            if frame.anchor_id is not None or frame.aux_ids:
+                self.on_beacon(frame)
+        elif kind is _DATA:
+            self.on_data(frame)
+        elif kind is _ACK:
+            self.on_ack_frame(frame)
 
     def on_beacon(self, beacon):
         if beacon.anchor_id is None and not beacon.aux_ids:
@@ -762,7 +853,9 @@ class BasestationNode(_NodeBase):
             self._relay_rng.uniform(0.0, config.relay_timer_interval)
         )
         self._relay_store[key] = (packet, now)
-        self.ctx.sim.schedule(delay, self._relay_decision, key)
+        # Relay decisions are never cancelled (suppression is checked
+        # when the timer fires), so the handle-free event suffices.
+        self.ctx.sim.schedule_fire(delay, self._relay_decision, key)
 
     def _ack_window(self):
         """Current ack-wait window: clamped multiple of the median gap."""
@@ -814,7 +907,7 @@ class BasestationNode(_NodeBase):
         window = self._ack_window()
         age = now - heard_at
         if age < window and age < config.relay_max_age:
-            self.ctx.sim.schedule(
+            self.ctx.sim.schedule_fire(
                 min(window - age, config.relay_max_age - age) + 1e-4,
                 self._relay_decision, key,
             )
@@ -826,15 +919,22 @@ class BasestationNode(_NodeBase):
         if not self.is_designated_aux():
             return
         ctx = self.ctx
-        aux_ids = self.known_aux
         strategy = ctx.relay_strategy
+        aux_ids = tuple(a for a in self.known_aux
+                        if a not in (packet.src, packet.dst))
+        # Strategies that read aggregate sums get the estimator's
+        # cached array-indexed table; decisions between estimator
+        # state changes then skip the 3K+1 probability lookups.
+        table = self.estimator.relay_table(
+            aux_ids, packet.src, packet.dst, now,
+        ) if strategy.uses_table else None
         probability = strategy.relay_probability(RelayContext(
             self_id=self.node_id,
-            aux_ids=tuple(a for a in aux_ids
-                          if a not in (packet.src, packet.dst)),
+            aux_ids=aux_ids,
             src=packet.src,
             dst=packet.dst,
             p=self.estimator.probability_lookup(now),
+            table=table,
         ))
         relayed = bool(self._relay_rng.random() < probability)
         ctx.stats.on_relay_decision(

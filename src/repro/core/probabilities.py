@@ -15,7 +15,34 @@ So a single beacon from node X teaches a listener both ``p(* -> X)``
 knowledge of its outgoing quality).  An auxiliary therefore learns every
 probability the relay computation needs purely by listening, with no
 extra coordination traffic.
+
+**Fast path.**  Beacon ingest is batched per beacon round: a received
+beacon is appended to a pending list (one list append on the per-frame
+path) and folded into the estimator's tables the next time any query
+runs — queries are an order of magnitude rarer than receptions, and the
+fold runs with locals bound once per batch.  All read paths flush
+first, so observable state is identical to eager ingest.  On top of
+that, two caches amortize the per-beacon and per-relay-decision costs:
+
+* :meth:`beacon_reports` — the embedded ``incoming`` map only changes
+  at :meth:`tick_second` and the ``learned`` map only when a peer
+  reports fresh outgoing knowledge or an entry crosses the staleness
+  horizon, so both are cached with exact invalidation bounds instead
+  of being rebuilt for every one of the ~10 beacons a node sends per
+  second.
+* :meth:`relay_table` — relay decisions for the same ``(aux set, src,
+  dst)`` between state changes reuse one array-indexed
+  :class:`~repro.core.relaying.RelayTable` (per-aux contention and
+  delivery columns plus the precomputed Eq. 1 denominator), built with
+  the same arithmetic, in the same accumulation order, as the scalar
+  strategy loops — cached values are bit-for-bit what the uncached
+  computation would produce, with validity bounded by the estimator's
+  version counter and the earliest staleness expiry consulted.
 """
+
+import math
+
+from repro.core.relaying import RelayTable
 
 __all__ = ["ReceptionEstimator"]
 
@@ -32,6 +59,10 @@ class ReceptionEstimator:
         forget_below: incoming averages below this are dropped, so BSes
             left behind stop being considered.
     """
+
+    #: Relay-table cache entries kept before the cache is reset (aux
+    #: sets churn as the vehicle moves; old keys never come back).
+    _RELAY_CACHE_MAX = 64
 
     def __init__(self, node_id, beacons_per_second=10, alpha=0.5,
                  stale_s=5.0, forget_below=0.01):
@@ -59,25 +90,80 @@ class ReceptionEstimator:
         # This node's outgoing quality p(self -> peer) as last reported
         # by each peer, for beacon construction.
         self._outgoing = {}
+        # Beacons received but not yet folded in (see module docstring).
+        self._pending = []
+        # Change epochs for exact cache invalidation: one per report
+        # sender (bumped when that sender's report is replaced) and one
+        # for the first-hand averages (bumped per second tick).  The
+        # relay-table cache validates against exactly the epochs of the
+        # participants it consulted, so unrelated beacon traffic does
+        # not evict it.
+        self._report_epoch = {}
+        self._incoming_epoch = 0
+        self._incoming_snapshot = None
+        # Incrementally maintained beacon ``learned`` map: flush keeps
+        # it current; a full rebuild only runs when the earliest
+        # staleness expiry passes (see beacon_reports).  Once handed to
+        # a beacon the map is *shared* — receivers keep it by
+        # reference — so the next mutation copies first (copy-on-write)
+        # and sent beacons stay frozen.
+        self._learned_live = {}
+        self._learned_shared = False
+        self._learned_expiry = math.inf
+        self._relay_tables = {}
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
 
     def on_beacon(self, beacon, now):
-        """Digest one received beacon: count it and keep its reports."""
-        sender = beacon.sender
+        """Record one received beacon; folded in at the next query."""
+        self._pending.append((beacon, now))
+
+    def _flush(self):
+        """Fold the pending beacon batch into the tables, in order."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
         heard = self._heard_this_second
-        heard[sender] = heard.get(sender, 0) + 1
-        self._last_heard[sender] = now
-        self._reports[sender] = (now, beacon.incoming, beacon.learned)
-        # Reports about this node itself are kept too: the sender's
-        # ``incoming[self]`` is p(self -> sender), i.e. this node's own
-        # *outgoing* quality, which it cannot measure first-hand and
-        # which the relay computation needs (p(Bx -> dst)).
-        mine = beacon.incoming.get(self.node_id)
-        if mine is not None:
-            self._outgoing[sender] = (mine, now)
+        last_heard = self._last_heard
+        reports = self._reports
+        report_epoch = self._report_epoch
+        outgoing = self._outgoing
+        learned_live = self._learned_live
+        node_id = self.node_id
+        stale_s = self.stale_s
+        learned_expiry = self._learned_expiry
+        for beacon, now in pending:
+            sender = beacon.sender
+            try:
+                heard[sender] += 1
+            except KeyError:
+                heard[sender] = 1
+            last_heard[sender] = now
+            incoming = beacon.incoming
+            reports[sender] = (now, incoming, beacon.learned)
+            try:
+                report_epoch[sender] += 1
+            except KeyError:
+                report_epoch[sender] = 1
+            # Reports about this node itself are kept too: the sender's
+            # ``incoming[self]`` is p(self -> sender), i.e. this node's
+            # own *outgoing* quality, which it cannot measure
+            # first-hand and which the relay computation needs
+            # (p(Bx -> dst)).
+            mine = incoming.get(node_id)
+            if mine is not None:
+                outgoing[sender] = (mine, now)
+                if self._learned_shared:
+                    learned_live = self._learned_live = dict(learned_live)
+                    self._learned_shared = False
+                learned_live[sender] = mine
+                expires = now + stale_s
+                if expires < learned_expiry:
+                    learned_expiry = expires
+        self._learned_expiry = learned_expiry
 
     def tick_second(self, now):
         """Fold the elapsed second into the exponential averages.
@@ -86,6 +172,8 @@ class ReceptionEstimator:
         ratio this second, zero if silent.  Peers whose average decays
         below ``forget_below`` are forgotten.
         """
+        if self._pending:
+            self._flush()
         peers = set(self._incoming) | set(self._heard_this_second)
         for peer in peers:
             ratio = min(
@@ -101,6 +189,8 @@ class ReceptionEstimator:
         for peer in [p for p, v in self._incoming.items()
                      if v < self.forget_below]:
             del self._incoming[peer]
+        self._incoming_snapshot = None
+        self._incoming_epoch += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -116,11 +206,15 @@ class ReceptionEstimator:
 
     def heard_recently(self, peer, now, within_s):
         """Was a beacon from *peer* heard within the last *within_s*?"""
+        if self._pending:
+            self._flush()
         last = self._last_heard.get(peer)
         return last is not None and (now - last) <= within_s
 
     def peers_heard_within(self, now, within_s):
         """All peers whose beacons were heard within *within_s*."""
+        if self._pending:
+            self._flush()
         return [
             peer for peer, last in self._last_heard.items()
             if (now - last) <= within_s
@@ -132,6 +226,8 @@ class ReceptionEstimator:
         First-hand knowledge (``b`` is this node) wins; otherwise the
         dissemination table is consulted, subject to freshness.
         """
+        if self._pending:
+            self._flush()
         if a == b:
             return 1.0
         if b == self.node_id:
@@ -153,6 +249,88 @@ class ReceptionEstimator:
                 best = prob
         return best
 
+    def _probability_ts(self, a, b, now):
+        """``(probability, change_bound)`` for the relay-table cache.
+
+        Same value as :meth:`probability` (the caller has flushed);
+        ``change_bound`` is the earliest future instant at which this
+        answer could change *without* a version bump — the staleness
+        expiry of any accepted report.  A report that is already stale
+        stays stale (time is monotone), and absent/first-hand entries
+        only change with the version, so their bound is infinite.
+        """
+        if a == b:
+            return 1.0, math.inf
+        if b == self.node_id:
+            return self._incoming.get(a, 0.0), math.inf
+        stale_s = self.stale_s
+        reports = self._reports
+        best = 0.0
+        best_ts = None
+        bound = math.inf
+        from_b = reports.get(b)
+        if from_b is not None and now - from_b[0] <= stale_s:
+            expires = from_b[0] + stale_s
+            if expires < bound:
+                bound = expires
+            prob = from_b[1].get(a)
+            if prob is not None:
+                best = prob
+                best_ts = from_b[0]
+        from_a = reports.get(a)
+        if from_a is not None and now - from_a[0] <= stale_s:
+            expires = from_a[0] + stale_s
+            if expires < bound:
+                bound = expires
+            prob = from_a[2].get(b)
+            if prob is not None and (best_ts is None or from_a[0] > best_ts):
+                best = prob
+        return best, bound
+
+    def relay_table(self, aux_ids, src, dst, now):
+        """Cached :class:`~repro.core.relaying.RelayTable` for a decision.
+
+        Every probability the table holds depends only on the reports
+        of the participants (``src``, ``dst`` and the auxiliaries),
+        the first-hand averages, and staleness at *now*; the cache
+        entry therefore stores those participants' report epochs plus
+        the earliest staleness expiry consulted, and stays valid —
+        bit-for-bit what a fresh build would produce — until one of
+        them changes.  Unrelated beacon traffic never evicts it.
+        """
+        if self._pending:
+            self._flush()
+        key = (aux_ids, src, dst)
+        cached = self._relay_tables.get(key)
+        if cached is not None and now <= cached[1] \
+                and cached[3] == self._incoming_epoch:
+            report_epoch = self._report_epoch
+            for participant, epoch in cached[0]:
+                if report_epoch.get(participant, 0) != epoch:
+                    break
+            else:
+                return cached[2]
+        if len(self._relay_tables) > self._RELAY_CACHE_MAX:
+            self._relay_tables.clear()
+        bound = math.inf
+
+        def lookup(a, b):
+            nonlocal bound
+            value, expires = self._probability_ts(a, b, now)
+            if expires < bound:
+                bound = expires
+            return value
+
+        table = RelayTable(aux_ids, src, dst, lookup)
+        report_epoch = self._report_epoch
+        participants = tuple(
+            (participant, report_epoch.get(participant, 0))
+            for participant in (src, dst) + aux_ids
+        )
+        self._relay_tables[key] = (participants, bound, table,
+                                   self._incoming_epoch)
+        return table
+
     def probability_lookup(self, now):
         """A ``(a, b) -> p`` callable bound to the current time."""
         def lookup(a, b):
@@ -169,12 +347,32 @@ class ReceptionEstimator:
         ``incoming`` carries this node's first-hand estimates
         ``p(peer -> self)``; ``learned`` carries its second-hand
         knowledge of its own outgoing quality ``p(self -> peer)``.
+
+        Both maps are cached between state changes (see the module
+        docstring); successive beacons within one estimator epoch share
+        the same dict objects, whose contents equal a fresh rebuild.
+        Callers treat the maps as immutable.
         """
-        incoming = dict(self._incoming)
-        stale_s = self.stale_s
-        learned = {
-            b: prob
-            for b, (prob, ts) in self._outgoing.items()
-            if now - ts <= stale_s
-        }
-        return incoming, learned
+        if self._pending:
+            self._flush()
+        incoming = self._incoming_snapshot
+        if incoming is None:
+            incoming = self._incoming_snapshot = dict(self._incoming)
+        if now > self._learned_expiry:
+            # The earliest staleness expiry passed: prune by rebuilding
+            # from the timestamps.  (Expiry is a lower bound — an entry
+            # refreshed since may extend it — so rebuilds can only run
+            # early, never late: the live map never serves stale rows.)
+            stale_s = self.stale_s
+            expiry = math.inf
+            learned = {}
+            for peer, (prob, ts) in self._outgoing.items():
+                if now - ts <= stale_s:
+                    learned[peer] = prob
+                    expires = ts + stale_s
+                    if expires < expiry:
+                        expiry = expires
+            self._learned_live = learned
+            self._learned_expiry = expiry
+        self._learned_shared = True
+        return incoming, self._learned_live

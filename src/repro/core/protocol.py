@@ -51,12 +51,13 @@ class ViFiConfig:
     # Slot-aligned beacon batching: all beacons nominally due within
     # one slot are emitted by a single heap event at the slot boundary
     # (nominal rates are preserved; emissions shift by at most one
-    # slot).  0 restores one timer event per node per beacon.  Wider
-    # slots batch more but synchronize the co-slotted senders'
-    # contention, which costs deferred-attempt events; 5 ms is the
-    # measured sweet spot against the 100 ms beacon interval (see
-    # PERFORMANCE.md).
-    beacon_slot_s: float = 0.005
+    # slot).  0 restores one timer event per node per beacon.  Under
+    # the defer-cascade CSMA model wider slots synchronized co-slotted
+    # senders and cost deferred-attempt events (5 ms was the sweet
+    # spot); the backoff-freezing model serializes a slot's batch in
+    # one event per frame, so the default slot widened to 20 ms (see
+    # PERFORMANCE.md for the measurements).
+    beacon_slot_s: float = 0.02
 
     # Medium fast-path knobs (see repro.net.medium): per-receiver loss
     # outcomes drawn from one batched block, and single-event merged
@@ -64,6 +65,18 @@ class ViFiConfig:
     # the legacy paths.
     medium_outcome_batch: int = 256
     medium_merge_uncontended: bool = True
+
+    # Resolve kernel: "array" runs the struct-of-arrays vectorized
+    # kernel (bitwise-identical outcomes); "scalar" keeps the PR 2
+    # per-row loop for the equivalence suite.
+    medium_kernel: str = "array"
+
+    # CSMA contention model: "freeze" keeps each contender's remaining
+    # backoff across busy periods (no defer events; one heap event per
+    # broadcast frame); "defer" redraws and reschedules on every busy
+    # period (the PR 2 cascade, kept bitwise for the equivalence
+    # suite).  The defer model pairs with the narrow 5 ms beacon slot.
+    medium_csma: str = "freeze"
 
     # Anchor / auxiliary designation (Section 4.3).
     anchor_hysteresis: float = 0.15
@@ -156,7 +169,9 @@ class InternetGateway:
 
     def on_anchor_change(self, new_anchor):
         delay = self.ctx.config.gateway_update_delay_s
-        self.ctx.sim.schedule(delay, self._update_belief, new_anchor)
+        # Gateway events never cancel; the fire-and-forget variant
+        # skips a handle allocation per routing update / packet.
+        self.ctx.sim.schedule_fire(delay, self._update_belief, new_anchor)
 
     def _update_belief(self, new_anchor):
         self.anchor_belief = new_anchor
@@ -173,7 +188,7 @@ class InternetGateway:
         bs_node = self.ctx.bs_node(self.anchor_belief)
         if bs_node is None:
             return
-        self.ctx.sim.schedule(
+        self.ctx.sim.schedule_fire(
             self.ctx.config.wired_latency_s,
             bs_node.on_internet_packet, payload, size_bytes, flow_id, seq,
         )
@@ -186,7 +201,7 @@ class InternetGateway:
             )
             if self.upstream_sink is not None:
                 self.upstream_sink(packet, self.ctx.sim.now)
-        self.ctx.sim.schedule(self.ctx.config.wired_latency_s, arrive)
+        self.ctx.sim.schedule_fire(self.ctx.config.wired_latency_s, arrive)
 
 
 class _Context:
@@ -287,6 +302,8 @@ class ViFiSimulation:
             outcome_rng=self.rngs.stream("medium-outcomes"),
             outcome_batch=self.config.medium_outcome_batch,
             merge_uncontended=self.config.medium_merge_uncontended,
+            kernel=self.config.medium_kernel,
+            csma=self.config.medium_csma,
         )
         self.backplane = Backplane(
             self.sim,
@@ -309,6 +326,7 @@ class ViFiSimulation:
             # "do not relay"; designations and beacons stay identical.
             class _NeverRelay:
                 name = "never"
+                uses_table = False
 
                 def relay_probability(self, ctx):
                     return 0.0

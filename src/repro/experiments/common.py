@@ -22,10 +22,12 @@ __all__ = [
     "WARMUP_S",
     "available_workers",
     "dieselnet_protocol",
+    "init_worker_state",
     "run_protocol_cbr",
     "run_trips",
     "vanlan_cbr_trip",
     "vanlan_protocol",
+    "worker_state",
 ]
 
 #: Seconds of beaconing before applications start.
@@ -155,6 +157,25 @@ def run_trips(worker, tasks, workers=None, chunksize=1,
     with ctx.Pool(processes=workers, initializer=initializer,
                   initargs=tuple(initargs)) as pool:
         return pool.map(worker, tasks, chunksize=max(int(chunksize), 1))
+
+
+#: Heavyweight per-worker state (testbeds, variant maps) shipped once
+#: per process through :func:`run_trips`'s *initializer* instead of
+#: once per task.  One shared slot serves every experiment module:
+#: pools are created per sweep (worker processes never interleave
+#: sweeps) and the serial path reads the state within the same call.
+_worker_state = None
+
+
+def init_worker_state(*state):
+    """``run_trips`` initializer: stash *state* for the worker."""
+    global _worker_state
+    _worker_state = state
+
+
+def worker_state():
+    """The state tuple the current sweep's initializer shipped."""
+    return _worker_state
 
 
 def vanlan_cbr_trip(task):

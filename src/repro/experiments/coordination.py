@@ -17,7 +17,10 @@ from repro.core.relaying import RelayContext, make_strategy
 from repro.experiments.common import (
     WARMUP_S,
     dieselnet_protocol,
+    init_worker_state,
+    run_trips,
     vanlan_protocol,
+    worker_state,
 )
 from repro.net.packet import Direction
 from repro.sim.rng import RngRegistry
@@ -29,8 +32,29 @@ __all__ = [
 ]
 
 
-def coordination_table(testbed, trips, seed=0, config=None):
+def _coordination_trip(trip):
+    """One trip of Table 1: the two per-direction reports (picklable)."""
+    testbed, config, seed = worker_state()
+    sim, duration = vanlan_protocol(testbed, trip, config=config,
+                                    seed=seed + trip)
+    router = FlowRouter(sim)
+    workload = TcpWorkload(sim, router)
+    workload.start(WARMUP_S)
+    workload.stop(duration - 2.0)
+    sim.run(until=duration)
+    return (
+        sim.stats.coordination_report(Direction.UPSTREAM),
+        sim.stats.coordination_report(Direction.DOWNSTREAM),
+    )
+
+
+def coordination_table(testbed, trips, seed=0, config=None, workers=None):
     """Table 1: coordination statistics from the VanLAN TCP workload.
+
+    Trips fan out over :func:`~repro.experiments.common.run_trips`
+    (*workers* processes; ``None`` uses the available cores); the
+    task-order merge makes the pooled reports identical to a serial
+    loop for any worker count.
 
     Returns:
         dict direction name -> :class:`~repro.core.stats.CoordinationReport`
@@ -38,19 +62,14 @@ def coordination_table(testbed, trips, seed=0, config=None):
         per-trip averaged on counts by pooling the stats objects).
     """
     config = config or ViFiConfig()
-    reports = {"upstream": [], "downstream": []}
-    for trip in trips:
-        sim, duration = vanlan_protocol(testbed, trip, config=config,
-                                        seed=seed + trip)
-        router = FlowRouter(sim)
-        workload = TcpWorkload(sim, router)
-        workload.start(WARMUP_S)
-        workload.stop(duration - 2.0)
-        sim.run(until=duration)
-        reports["upstream"].append(
-            sim.stats.coordination_report(Direction.UPSTREAM))
-        reports["downstream"].append(
-            sim.stats.coordination_report(Direction.DOWNSTREAM))
+    per_trip = run_trips(
+        _coordination_trip, list(trips), workers=workers,
+        initializer=init_worker_state, initargs=(testbed, config, seed),
+    )
+    reports = {
+        "upstream": [up for up, _ in per_trip],
+        "downstream": [down for _, down in per_trip],
+    }
     return {
         direction: _average_reports(rs) for direction, rs in reports.items()
     }
@@ -79,31 +98,51 @@ def _average_reports(reports):
     return out
 
 
-def formulation_comparison(testbed, days=(0,), seed=0, n_tours=1):
+def _formulation_task(task):
+    """One (strategy, day) cell of Table 2 (picklable summary)."""
+    strategy, day = task
+    testbed, seed, n_tours = worker_state()
+    config = ViFiConfig(relay_strategy=strategy)
+    log = testbed.generate_beacon_log(day, n_tours=n_tours)
+    rngs = RngRegistry(seed).spawn("table2", strategy, day)
+    sim, duration = dieselnet_protocol(log, rngs, config=config,
+                                       seed=seed + day)
+    router = FlowRouter(sim)
+    workload = TcpWorkload(sim, router)
+    workload.start(WARMUP_S)
+    workload.stop(duration - 2.0)
+    sim.run(until=duration)
+    report = sim.stats.coordination_report(Direction.DOWNSTREAM)
+    return (report.false_positive_rate, report.false_negative_rate,
+            report.n_source_tx)
+
+
+def formulation_comparison(testbed, days=(0,), seed=0, n_tours=1,
+                           workers=None):
     """Table 2: ViFi vs NotG1/NotG2/NotG3 on DieselNet Ch. 1 downstream.
+
+    The (strategy, day) grid fans out over
+    :func:`~repro.experiments.common.run_trips`; results are identical
+    for any *workers* count.
 
     Returns:
         dict strategy name -> {"false_positives", "false_negatives"}.
     """
     strategies = ("vifi", "not-g1", "not-g2", "not-g3")
+    days = list(days)
+    tasks = [(strategy, day) for strategy in strategies for day in days]
+    per_task = iter(run_trips(
+        _formulation_task, tasks, workers=workers,
+        initializer=init_worker_state, initargs=(testbed, seed, n_tours),
+    ))
     results = {}
     for strategy in strategies:
-        config = ViFiConfig(relay_strategy=strategy)
         fps, fns, weights = [], [], []
-        for day in days:
-            log = testbed.generate_beacon_log(day, n_tours=n_tours)
-            rngs = RngRegistry(seed).spawn("table2", strategy, day)
-            sim, duration = dieselnet_protocol(log, rngs, config=config,
-                                               seed=seed + day)
-            router = FlowRouter(sim)
-            workload = TcpWorkload(sim, router)
-            workload.start(WARMUP_S)
-            workload.stop(duration - 2.0)
-            sim.run(until=duration)
-            report = sim.stats.coordination_report(Direction.DOWNSTREAM)
-            fps.append(report.false_positive_rate)
-            fns.append(report.false_negative_rate)
-            weights.append(report.n_source_tx)
+        for _ in days:
+            fp, fn, weight = next(per_task)
+            fps.append(fp)
+            fns.append(fn)
+            weights.append(weight)
         total = sum(weights) or 1
         results[strategy] = {
             "false_positives": sum(f * w for f, w in zip(fps, weights))

@@ -7,10 +7,14 @@ control for either of our testbeds ... ViFi performs well across these
 factors."  The synthetic testbed *can* control both, so this module
 sweeps them: ViFi-vs-BRR delivery on the CBR workload as the BS
 population shrinks and as the shuttle speeds up.
+
+Sweep points are independent runs, so both sweeps fan out over
+:func:`~repro.experiments.common.run_trips` (*workers* processes;
+results are identical for any count).
 """
 
 from repro.core.protocol import ViFiConfig
-from repro.experiments.common import run_protocol_cbr
+from repro.experiments.common import run_protocol_cbr, run_trips
 from repro.testbeds.vanlan import VEHICLE_ID, VanLanTestbed
 
 __all__ = ["density_sweep", "speed_sweep"]
@@ -32,32 +36,49 @@ def _run_pair(testbed, trip, bs_ids, seed):
     return rates
 
 
-def density_sweep(seed=0, trip=0, subset_sizes=(3, 6, 11)):
+def _density_task(task):
+    """One BS-subset point of the density sweep (picklable)."""
+    seed, trip, size = task
+    testbed = VanLanTestbed(seed=seed)
+    all_bs = testbed.deployment.bs_ids
+    # Deterministic, spread-out subset: every k-th BS.
+    step = max(len(all_bs) // size, 1)
+    subset = all_bs[::step][:size]
+    return _run_pair(testbed, trip, subset, seed=seed + size)
+
+
+def _speed_task(task):
+    """One vehicle-speed point of the speed sweep (picklable)."""
+    seed, trip, speed = task
+    testbed = VanLanTestbed(seed=seed, speed_mps=speed / 3.6)
+    return _run_pair(testbed, trip, testbed.deployment.bs_ids,
+                     seed=seed + int(speed))
+
+
+def density_sweep(seed=0, trip=0, subset_sizes=(3, 6, 11), workers=None):
     """Delivery vs number of deployed BSes.
 
     Returns:
         dict size -> {"ViFi": rate, "BRR": rate}.
     """
-    testbed = VanLanTestbed(seed=seed)
-    all_bs = testbed.deployment.bs_ids
-    out = {}
-    for size in subset_sizes:
-        # Deterministic, spread-out subset: every k-th BS.
-        step = max(len(all_bs) // size, 1)
-        subset = all_bs[::step][:size]
-        out[size] = _run_pair(testbed, trip, subset, seed=seed + size)
-    return out
+    sizes = list(subset_sizes)
+    results = run_trips(
+        _density_task, [(seed, trip, size) for size in sizes],
+        workers=workers,
+    )
+    return dict(zip(sizes, results))
 
 
-def speed_sweep(seed=0, trip=0, speeds_kmh=(20.0, 40.0, 60.0)):
+def speed_sweep(seed=0, trip=0, speeds_kmh=(20.0, 40.0, 60.0),
+                workers=None):
     """Delivery vs vehicle speed.
 
     Returns:
         dict speed_kmh -> {"ViFi": rate, "BRR": rate}.
     """
-    out = {}
-    for speed in speeds_kmh:
-        testbed = VanLanTestbed(seed=seed, speed_mps=speed / 3.6)
-        out[speed] = _run_pair(testbed, trip, testbed.deployment.bs_ids,
-                               seed=seed + int(speed))
-    return out
+    speeds = list(speeds_kmh)
+    results = run_trips(
+        _speed_task, [(seed, trip, speed) for speed in speeds],
+        workers=workers,
+    )
+    return dict(zip(speeds, results))

@@ -65,6 +65,7 @@ __all__ = [
     "TARGET_PARALLEL_SPEEDUP",
     "WORKLOADS",
     "git_sha",
+    "profile_workload",
     "run_perf_suite",
     "run_trip_scaling",
     "run_workload",
@@ -92,10 +93,14 @@ BASELINE_SIM_RATE = {
 }
 
 #: Required sim-rate speedup on the single-process VanLAN workload.
-TARGET_SPEEDUP = 4.0
+#: Asserted floor with ~12% headroom below the committed measurement
+#: for shared-runner noise, mirroring PR 2's 4.0-floor / 4.52-measured
+#: posture (PR 3 commits ~4.9x, with ~5.3x observed in quiet windows).
+TARGET_SPEEDUP = 4.3
 
-#: Required sim-rate speedup on the trace-driven DieselNet workload.
-TARGET_SPEEDUP_DIESELNET = 1.3
+#: Required sim-rate speedup on the trace-driven DieselNet workload
+#: (PR 3 commits ~1.7-1.9x; floor with noise headroom).
+TARGET_SPEEDUP_DIESELNET = 1.4
 
 #: Required parallel speedup of a 4-trip sweep on >= 4 free cores.
 TARGET_PARALLEL_SPEEDUP = 3.0
@@ -189,6 +194,44 @@ def run_workload(name):
     return record
 
 
+def profile_workload(name, top=25, sort="cumulative"):
+    """cProfile one pinned workload; return the top-*top* report text.
+
+    The residual profile is the input every perf PR argues from;
+    ``python -m repro bench --profile`` prints it per workload so the
+    numbers are citable without ad-hoc scripts.
+
+    Args:
+        name: a pinned workload name (see :data:`WORKLOADS`).
+        top: rows to keep per sort order.
+        sort: a ``pstats`` sort key (``"cumulative"``, ``"tottime"``,
+            ...).
+
+    Returns:
+        ``(header_line, report_text)``.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown workload {name!r}; have {WORKLOADS}")
+    sim, duration = _BUILDERS[name]()
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    run_protocol_cbr(sim, duration)
+    profiler.disable()
+    wall = time.perf_counter() - t0
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(sort).print_stats(top)
+    header = (f"{name}: {sim.sim.events_processed} events in "
+              f"{wall:.3f} s under cProfile "
+              f"({stats.total_calls} calls; top {top} by {sort})")
+    return header, stream.getvalue()
+
+
 def run_perf_suite(workloads=WORKLOADS, repeats=1):
     """Measure every workload; keep the best (least-noisy) repeat."""
     results = []
@@ -234,16 +277,27 @@ def run_trip_scaling(n_trips=4, duration_s=40.0, workers=None,
     t0 = time.perf_counter()
     parallel = run_trips(vanlan_cbr_trip, tasks, workers=workers)
     parallel_wall = time.perf_counter() - t0
+    available = available_workers()
+    if available >= 4 and workers >= 4:
+        gate = "enforced"
+    else:
+        # The speedup target only binds with real free cores; record
+        # exactly why it is skipped so a sub-1.0 parallel_speedup on a
+        # starved host reads as expected pool overhead, not as a
+        # regression.
+        gate = (f"skipped: available_workers: {available}, "
+                f"workers: {workers} (target needs >= 4 of each)")
     return {
         "workload": SCALING_WORKLOAD,
         "n_trips": int(n_trips),
         "trip_duration_s": float(duration_s),
         "workers": int(workers),
-        "available_workers": available_workers(),
+        "available_workers": available,
         "serial_wall_s": round(serial_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
         "parallel_speedup": round(serial_wall / parallel_wall, 2)
         if parallel_wall > 0 else float("inf"),
+        "parallel_gate": gate,
         "outputs_identical": serial == parallel,
         "git_sha": git_sha(),
     }

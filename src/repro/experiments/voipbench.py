@@ -1,4 +1,10 @@
-"""VoIP experiments: Figure 11 (VanLAN and DieselNet)."""
+"""VoIP experiments: Figure 11 (VanLAN and DieselNet).
+
+Like the TCP figures, the ``(variant, trip)`` / ``(variant, day)``
+grids fan out over :func:`~repro.experiments.common.run_trips`; the
+task-order merge keeps pooled results identical to the serial loops
+for any worker count.
+"""
 
 import statistics
 
@@ -8,7 +14,10 @@ from repro.core.protocol import ViFiConfig
 from repro.experiments.common import (
     WARMUP_S,
     dieselnet_protocol,
+    init_worker_state,
+    run_trips,
     vanlan_protocol,
+    worker_state,
 )
 from repro.sim.rng import RngRegistry
 
@@ -34,8 +43,53 @@ def _summarize(sessions, mos_values):
     }
 
 
-def voip_vanlan(testbed, trips, variants=None, seed=0):
+def _voip_vanlan_task(task):
+    name, trip = task
+    testbed, variants, seed = worker_state()
+    sim, duration = vanlan_protocol(testbed, trip, config=variants[name],
+                                    seed=seed + trip)
+    stream = _run_voip(sim, duration)
+    return {
+        "sessions": stream.session_lengths(),
+        "mos": [m for m, _, _ in stream.window_quality()],
+    }
+
+
+def _voip_dieselnet_task(task):
+    name, day = task
+    testbed, variants, seed, n_tours = worker_state()
+    log = testbed.generate_beacon_log(day, n_tours=n_tours)
+    rngs = RngRegistry(seed).spawn("voip-dn", name, day)
+    sim, duration = dieselnet_protocol(log, rngs, config=variants[name],
+                                       seed=seed + day)
+    stream = _run_voip(sim, duration)
+    return {
+        "sessions": stream.session_lengths(),
+        "mos": [m for m, _, _ in stream.window_quality()],
+    }
+
+
+def _pooled(variants, units, per_task):
+    per_task = iter(per_task)
+    results = {}
+    for name in variants:
+        sessions = []
+        mos_values = []
+        for _ in units:
+            cell = next(per_task)
+            sessions.extend(cell["sessions"])
+            mos_values.extend(cell["mos"])
+        results[name] = _summarize(sessions, mos_values)
+    return results
+
+
+def voip_vanlan(testbed, trips, variants=None, seed=0, workers=None):
     """Figure 11(a): median uninterrupted VoIP session on VanLAN.
+
+    Args:
+        workers: process count for the (variant, trip) fan-out;
+            ``None`` uses the host's available cores, results are
+            identical for any count.
 
     Returns:
         dict name -> {"median_session_s", "sessions", "mean_mos"}.
@@ -43,36 +97,26 @@ def voip_vanlan(testbed, trips, variants=None, seed=0):
     if variants is None:
         base = ViFiConfig()
         variants = {"BRR": base.brr_variant(), "ViFi": base}
-    results = {}
-    for name, config in variants.items():
-        sessions = []
-        mos_values = []
-        for trip in trips:
-            sim, duration = vanlan_protocol(testbed, trip, config=config,
-                                            seed=seed + trip)
-            stream = _run_voip(sim, duration)
-            sessions.extend(stream.session_lengths())
-            mos_values.extend(m for m, _, _ in stream.window_quality())
-        results[name] = _summarize(sessions, mos_values)
-    return results
+    trips = list(trips)
+    tasks = [(name, trip) for name in variants for trip in trips]
+    per_task = run_trips(
+        _voip_vanlan_task, tasks, workers=workers,
+        initializer=init_worker_state, initargs=(testbed, variants, seed),
+    )
+    return _pooled(variants, trips, per_task)
 
 
-def voip_dieselnet(testbed, days=(0,), variants=None, seed=0, n_tours=1):
+def voip_dieselnet(testbed, days=(0,), variants=None, seed=0, n_tours=1,
+                   workers=None):
     """Figure 11(b,c): VoIP sessions on DieselNet (trace-driven)."""
     if variants is None:
         base = ViFiConfig()
         variants = {"BRR": base.brr_variant(), "ViFi": base}
-    results = {}
-    for name, config in variants.items():
-        sessions = []
-        mos_values = []
-        for day in days:
-            log = testbed.generate_beacon_log(day, n_tours=n_tours)
-            rngs = RngRegistry(seed).spawn("voip-dn", name, day)
-            sim, duration = dieselnet_protocol(log, rngs, config=config,
-                                               seed=seed + day)
-            stream = _run_voip(sim, duration)
-            sessions.extend(stream.session_lengths())
-            mos_values.extend(m for m, _, _ in stream.window_quality())
-        results[name] = _summarize(sessions, mos_values)
-    return results
+    days = list(days)
+    tasks = [(name, day) for name in variants for day in days]
+    per_task = run_trips(
+        _voip_dieselnet_task, tasks, workers=workers,
+        initializer=init_worker_state,
+        initargs=(testbed, variants, seed, n_tours),
+    )
+    return _pooled(variants, days, per_task)

@@ -54,6 +54,17 @@ class LossProcess:
     :class:`~repro.net.medium.WirelessMedium`); processes lacking
     ``loss_eps`` fall back to :meth:`is_lost` and keep their private
     draw streams.
+
+    Processes that can additionally *bound* how long the returned
+    probability stays valid implement ``loss_eps_window(t) ->
+    (eps, valid_until)``: the loss probability cannot change before
+    ``valid_until`` (the next burst-chain flip, steering-bucket
+    boundary, or trace-second boundary, whichever comes first).  The
+    medium's array kernel stores these thresholds in its
+    struct-of-arrays resolve rows and skips the per-frame ``loss_eps``
+    call while the window holds — bitwise-safe because a skipped
+    no-flip state advance consumes no randomness and a pending flip
+    caps the window.
     """
 
     static_loss_rate = None
@@ -89,6 +100,9 @@ class BernoulliLoss(LossProcess):
 
     def loss_eps(self, t):
         return self.p
+
+    def loss_eps_window(self, t):
+        return self.p, math.inf
 
     def loss_rate(self, t):
         return self.p
@@ -158,6 +172,12 @@ class GilbertElliottLoss(LossProcess):
     def loss_eps(self, t):
         self._advance(t)
         return self.eps_bad if self._in_bad else self.eps_good
+
+    def loss_eps_window(self, t):
+        """``(eps, valid_until)``: eps cannot change before the flip."""
+        self._advance(t)
+        eps = self.eps_bad if self._in_bad else self.eps_good
+        return eps, self._next_flip
 
     def loss_rate(self, t):
         return self.static_loss_rate
@@ -268,6 +288,55 @@ class SteeredGilbertElliott(LossProcess):
             return eps_bad if chain._in_bad else eps_good
         return eps_bad if chain.in_bad_state(t) else eps_good
 
+    def loss_eps_window(self, t):
+        """``(eps, valid_until)`` for the array kernel's resolve rows.
+
+        The per-packet probability is pinned until whichever comes
+        first: the chain's next state flip, or — when the steering
+        target is a :class:`LinkStateCache` — the end of the current
+        time-quantum bucket.  A generic callable target can change at
+        any instant, so its window degenerates to the query time (no
+        reuse); ``quantum<=0`` likewise buckets at exact query times
+        only, preserving the bitwise guarantee.  The body flattens
+        :meth:`loss_eps` inline: the kernel calls this once per stale
+        row, so the double dispatch would cost more than the math.
+        """
+        chain = self._chain
+        if self._static_eps is not None:
+            eps_good, eps_bad = self._static_eps
+            bound = math.inf
+        else:
+            ls = self._link_state
+            if ls is not None:
+                quantum = ls.quantum
+                if quantum > 0.0:
+                    key = int(t / quantum)
+                    bound = (key + 1.0) * quantum
+                else:
+                    key = t
+                    bound = t
+                if key == ls._prob_key:
+                    m = 1.0 - ls._prob
+                else:
+                    m = 1.0 - ls.reception_prob(t)
+            else:
+                m = self.mean_loss(t)
+                bound = t
+            if m != self._last_m:
+                self._last_m = m
+                self._last_split = self._split(m)
+            eps_good, eps_bad = self._last_split
+        # Inline no-flip chain advance (see loss_eps).
+        if chain._time <= t < chain._next_flip:
+            chain._time = t
+            in_bad = chain._in_bad
+        else:
+            in_bad = chain.in_bad_state(t)
+        next_flip = chain._next_flip
+        if next_flip < bound:
+            bound = next_flip
+        return (eps_bad if in_bad else eps_good), bound
+
     def is_lost(self, t):
         eps = self.loss_eps(t)
         # Inline buffered uniform draw (see BufferedUniforms).
@@ -321,6 +390,15 @@ class TraceDrivenLoss(LossProcess):
 
     def loss_eps(self, t):
         return self.loss_rate(t)
+
+    def loss_eps_window(self, t):
+        """``(eps, valid_until)``: rates hold within a trace second."""
+        idx = int(math.floor(t - self.t0))
+        if 0 <= idx < len(self.rates):
+            return self.rates[idx], self.t0 + idx + 1.0
+        if idx < 0:
+            return self.out_of_range_rate, self.t0
+        return self.out_of_range_rate, math.inf
 
     def is_lost(self, t):
         return self._draw() < self.loss_rate(t)

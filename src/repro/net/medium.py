@@ -35,7 +35,7 @@ touching their loss process.  Transmission and delivery accounting use
 :class:`collections.Counter` with O(1) aggregate views instead of
 rescanning all keys.
 
-Two further fast paths ride on top:
+Fast paths riding on top:
 
 * **Batched outcomes** — processes exposing ``loss_eps(t)`` (state
   advance separated from the coin flip) have their per-receiver
@@ -51,9 +51,31 @@ Two further fast paths ride on top:
   the channel is claimed immediately (``busy_until``), so later
   senders defer exactly as if the attempt event had fired.  Only
   genuinely contended frames pay the classic two-event path.
+* **Array resolve kernel** (``kernel="array"``) — per-transmitter
+  resolve rows are kept as struct-of-arrays (numpy vectors of
+  ``loss_eps`` thresholds, per-row validity windows from
+  ``loss_eps_window``, and per-row state codes), cached against the
+  reachability index's expiry.  Resolving a frame is then one
+  vectorized compare of a pre-drawn uniform block against the eps
+  vector plus a short scalar loop over only the hits (deliveries).
+  The kernel consumes the *same* outcome stream in the same order as
+  the scalar loop, so ``kernel="scalar"`` (the PR 2 code path, kept
+  verbatim) and ``kernel="array"`` produce bitwise-identical runs.
+* **Backoff-freezing CSMA** (``csma="freeze"``) — contenders draw one
+  backoff when they start contending, freeze the remainder while the
+  channel is busy, and resume on release, instead of redrawing and
+  rescheduling an attempt event on every busy period (the defer
+  cascade of ``csma="defer"``).  Each busy period costs O(1) counter
+  arithmetic per contender and each broadcast frame costs exactly one
+  heap event (the merged resolve), contended or not, which removes the
+  wide-slot penalty of beacon batching.  ``defer_count`` stays 0 under
+  the freeze model; ``csma="defer"`` keeps the PR 2 cascade bitwise.
 """
 
+import math
 from collections import Counter, deque
+
+import numpy as np
 
 __all__ = ["LinkTable", "MediumObserver", "WirelessMedium"]
 
@@ -218,6 +240,58 @@ class MediumObserver:
         """Called when a reachable receiver fails to decode a frame."""
 
 
+class _ResolveRows:
+    """Struct-of-arrays resolve rows for one transmitter.
+
+    One row per in-range receiver, in sorted receiver-id order (the
+    reproducible delivery order).  The numpy eps column backs the array
+    kernel's vectorized compare; the object columns back the short
+    scalar loop over hits.  A row's per-frame loss probability comes
+    from its ``window_fns`` entry when the process supplies
+    ``loss_eps_window`` (the stored threshold is then reused until
+    ``valid_until``), else from re-evaluating ``eps_fns`` every frame;
+    rows without ``loss_eps`` at all force ``all_eps=False`` and the
+    whole transmitter takes the per-row fallback loop (mixed-order
+    draws cannot be vectorized without changing the stream).
+    """
+
+    __slots__ = ("ids", "receive", "eps_fns", "window_fns", "procs",
+                 "eps", "valid_until", "min_valid", "n", "all_eps")
+
+    def __init__(self, pairs, transmitter_id, nodes_by_id):
+        ids, receive, eps_fns, window_fns, procs = [], [], [], [], []
+        all_eps = True
+        for receiver_id, process in pairs:
+            if receiver_id == transmitter_id:
+                continue
+            node = nodes_by_id.get(receiver_id)
+            if node is None:
+                continue
+            eps_fn = getattr(process, "loss_eps", None)
+            window_fn = getattr(process, "loss_eps_window", None)
+            if eps_fn is None:
+                all_eps = False
+            ids.append(receiver_id)
+            receive.append(node.on_receive)
+            eps_fns.append(eps_fn)
+            window_fns.append(window_fn)
+            procs.append(process)
+        self.ids = ids
+        self.receive = receive
+        self.eps_fns = eps_fns
+        self.window_fns = window_fns
+        self.procs = procs
+        self.n = len(ids)
+        self.all_eps = all_eps
+        self.eps = np.zeros(self.n, dtype=np.float64)
+        # Validity bounds stay a python list (the refresh loop is
+        # scalar anyway); ``min_valid`` gates the whole scan with one
+        # float compare.  -inf forces a refresh on first use
+        # (validity is t < bound).
+        self.valid_until = [-math.inf] * self.n
+        self.min_valid = -math.inf
+
+
 class WirelessMedium:
     """Single-channel broadcast medium with CSMA and per-link losses.
 
@@ -238,16 +312,23 @@ class WirelessMedium:
         outcome_rng: stream for the batched per-receiver loss draws;
             defaults to *rng*.
         outcome_batch: uniforms pre-drawn per block for the batched
-            delivery outcomes; 0 restores per-process draws.
+            delivery outcomes; 0 restores per-process draws (and
+            forces the scalar kernel, which owns that path).
         merge_uncontended: collapse the attempt/transmit/resolve triple
             of an uncontended broadcast send into one heap event.
+        kernel: ``"array"`` resolves frames through the struct-of-
+            arrays kernel (bitwise-identical outcomes, vectorized
+            mechanics); ``"scalar"`` keeps the PR 2 per-row loop.
+        csma: ``"freeze"`` keeps per-contender remaining backoff across
+            busy periods (no defer events); ``"defer"`` redraws and
+            reschedules on every busy period (the PR 2 cascade).
     """
 
     def __init__(self, sim, links, rng, bitrate_bps=1_000_000.0,
                  plcp_overhead_s=192e-6, difs_s=50e-6, slot_time_s=20e-6,
                  backoff_slots=31, mac_retry_limit=4, max_cw_slots=1023,
                  outcome_rng=None, outcome_batch=256,
-                 merge_uncontended=True):
+                 merge_uncontended=True, kernel="array", csma="freeze"):
         self.sim = sim
         self.links = links
         self.rng = rng
@@ -258,15 +339,30 @@ class WirelessMedium:
         self.backoff_slots = int(backoff_slots)
         self.mac_retry_limit = int(mac_retry_limit)
         self.max_cw_slots = int(max_cw_slots)
+        if kernel not in ("array", "scalar"):
+            raise ValueError(f"unknown resolve kernel {kernel!r}")
+        if csma not in ("freeze", "defer"):
+            raise ValueError(f"unknown csma model {csma!r}")
+        # The array kernel rides the batched-outcome stream; without it
+        # the per-process draw path (owned by the scalar loop) is the
+        # only correct one.
+        self.kernel = kernel if int(outcome_batch) > 0 else "scalar"
+        self.csma = csma
 
         self._nodes = {}
         self._queues = {}
+        self._complete_cb = {}  # node_id -> on_transmit_complete or None
         self._attempt_pending = {}
         self._in_flight = {}  # merged frames claimed off their queue
         self._attempts_outstanding = 0
         self._cw = {}  # unicast contention window per node
         self._busy_until = 0.0
-        self._active = []  # end times of frames currently in the air
+        # Latest airtime end seen so far; a transmission overlapping a
+        # prior frame's airtime (start before that end) collides.  A
+        # scalar suffices: the claim/attempt discipline never lets two
+        # frames air at once, so the full in-air list always reduced to
+        # its maximum.
+        self._air_end = 0.0
         self.observers = []
         self._backoff_buf = None
         self._backoff_i = 0
@@ -277,8 +373,30 @@ class WirelessMedium:
         self._outcome_i = 0
         # src -> (reachability tuple, [(receiver_id, node, loss_eps,
         # process), ...]): node handles and eps accessors resolved once
-        # per reachability refresh instead of per frame.
+        # per reachability refresh instead of per frame (scalar kernel).
         self._entry_cache = {}
+        # src -> (expires, _ResolveRows, links.version): the array
+        # kernel's struct-of-arrays rows, same expiry contract.
+        self._row_cache = {}
+        # Array-kernel outcome buffer: same stream and refill cadence
+        # as the scalar kernel's list buffer, kept as a numpy vector.
+        self._outcome_vec = np.empty(0, dtype=np.float64)
+        self._outcome_vec_i = 0
+
+        # Backoff-freezing CSMA state.  A contender record is
+        # ``[backoff_left_s, seq, countdown_start, armed_token]``:
+        # ``countdown_start`` is the absolute time its countdown
+        # (re)started (None while frozen), ``armed_token`` matches the
+        # fire-and-forget attempt event armed for it (None when none).
+        self._contenders = {}
+        self._cont_seq = 0
+        self._freeze_token = 0
+        self._armed = None  # (attempt_at, node_id) of the armed winner
+        #: Defer-cascade reschedules (csma="defer" only; the freeze
+        #: model never defers, which the CSMA tests assert).
+        self.defer_count = 0
+        #: Backoff freezes performed by the freeze model.
+        self.freeze_count = 0
 
         # Counters: transmissions on the vehicle-BS channel, per node
         # and frame kind, for the Figure 12 efficiency accounting.
@@ -300,10 +418,14 @@ class WirelessMedium:
             raise ValueError(f"node {node.node_id} already attached")
         self._nodes[node.node_id] = node
         self._queues[node.node_id] = deque()
+        self._complete_cb[node.node_id] = getattr(
+            node, "on_transmit_complete", None
+        )
         self._attempt_pending[node.node_id] = False
         self._in_flight[node.node_id] = 0
         self._cw[node.node_id] = self.backoff_slots
         self._entry_cache.clear()
+        self._row_cache.clear()
 
     def add_observer(self, observer):
         self.observers.append(observer)
@@ -378,6 +500,8 @@ class WirelessMedium:
         return int(self.rng.integers(0, window + 1))
 
     def _schedule_attempt(self, transmitter_id):
+        if self.csma == "freeze":
+            return self._freeze_contend(transmitter_id)
         if self._attempt_pending[transmitter_id]:
             return
         queue = self._queues[transmitter_id]
@@ -396,17 +520,10 @@ class WirelessMedium:
             # later attempt would have seen the medium busy).
             frame, unicast_to, attempt = queue[0]
             if unicast_to is None:
-                queue.popleft()
-                self._in_flight[transmitter_id] += 1
                 window = self._cw[transmitter_id]
                 backoff = self._draw_backoff(window) * self.slot_time
-                start = now + self.difs + backoff
-                end = start + self.airtime(frame.size_bytes)
-                self._busy_until = end
-                self.sim.schedule_fire_at(
-                    end, self._merged_resolve, transmitter_id, frame,
-                    start,
-                )
+                self._claim_merged(transmitter_id, now + self.difs
+                                   + backoff)
                 return
         self._attempt_pending[transmitter_id] = True
         self._attempts_outstanding += 1
@@ -425,6 +542,7 @@ class WirelessMedium:
         now = self.sim.now
         if now < self._busy_until:
             # Medium became busy during our backoff; defer again.
+            self.defer_count += 1
             self._schedule_attempt(transmitter_id)
             return
         frame, unicast_to, attempt = \
@@ -433,18 +551,183 @@ class WirelessMedium:
         # Next queued frame (if any) contends afresh.
         self._schedule_attempt(transmitter_id)
 
+    # ------------------------------------------------------------------
+    # Backoff-freezing CSMA (csma="freeze")
+    # ------------------------------------------------------------------
+
+    def _freeze_contend(self, transmitter_id):
+        """Enter contention for the node's head-of-queue frame.
+
+        One backoff is drawn per contention entry; the remainder
+        persists across busy periods (frozen at claim, resumed at
+        release) instead of being redrawn on every defer.
+        """
+        if self._attempt_pending[transmitter_id]:
+            return
+        queue = self._queues[transmitter_id]
+        if not queue:
+            return
+        now = self.sim.now
+        contenders = self._contenders
+        idle = now >= self._busy_until
+        if idle and not contenders:
+            frame, unicast_to, attempt = queue[0]
+            if self.merge_uncontended and unicast_to is None:
+                # Same merged single-event path as the defer model.
+                backoff = self._draw_backoff(self._cw[transmitter_id]) \
+                    * self.slot_time
+                self._claim_merged(transmitter_id, now + self.difs
+                                   + backoff)
+                return
+        backoff = self._draw_backoff(self._cw[transmitter_id]) \
+            * self.slot_time
+        self._cont_seq += 1
+        record = [backoff, self._cont_seq, None, None]
+        contenders[transmitter_id] = record
+        self._attempt_pending[transmitter_id] = True
+        if not idle:
+            return  # parked: the release at busy-period end resumes us
+        armed = self._armed
+        if armed is None:
+            if len(contenders) > 1:
+                # Idle instant inside a resolve: frozen contenders are
+                # waiting for the release that runs right after the
+                # in-flight resolve completes.  Park and let that
+                # release arbitrate on remaining backoff.
+                return
+            # Truly uncontended but unmergeable (unicast frame, or
+            # merging disabled): arm our own countdown.
+            countdown_start = now + self.difs
+            record[2] = countdown_start
+            self._arm_winner(transmitter_id, record,
+                             countdown_start + backoff)
+            return
+        # Idle with a winner armed: start counting down now; preempt
+        # the armed winner only if our countdown finishes first (the
+        # superseded winner keeps counting and freezes at our claim).
+        countdown_start = now + self.difs
+        record[2] = countdown_start
+        attempt_at = countdown_start + backoff
+        if attempt_at < armed[0]:
+            old = contenders.get(armed[1])
+            if old is not None:
+                old[3] = None  # stale its armed event
+            self._arm_winner(transmitter_id, record, attempt_at)
+
+    def _claim_merged(self, transmitter_id, start):
+        """Claim the channel for the node's head frame airing at *start*.
+
+        The single-event tail of the merged path: the frame leaves the
+        queue now (still counted by :meth:`queue_length` via
+        ``_in_flight``), the channel is claimed through its end time,
+        and one fire-and-forget resolve event covers transmit +
+        delivery bookkeeping.
+        """
+        frame, _, _ = self._queues[transmitter_id].popleft()
+        self._in_flight[transmitter_id] += 1
+        end = start + self.airtime(frame.size_bytes)
+        self._busy_until = end
+        self.sim.schedule_fire_at(end, self._merged_resolve,
+                                  transmitter_id, frame, start)
+
+    def _arm_winner(self, transmitter_id, record, attempt_at):
+        self._freeze_token += 1
+        record[3] = self._freeze_token
+        self._armed = (attempt_at, transmitter_id)
+        self.sim.schedule_fire_at(attempt_at, self._freeze_fire,
+                                  transmitter_id, self._freeze_token)
+
+    def _freeze_fire(self, transmitter_id, token):
+        """Armed countdown completed: transmit the head-of-queue frame."""
+        record = self._contenders.get(transmitter_id)
+        if record is None or record[3] != token:
+            return  # superseded or frozen since arming
+        if self.sim.now < self._busy_until:
+            # Claimed since arming (tokens are cleared at claim; this
+            # is belt-and-braces).
+            record[3] = None
+            return
+        del self._contenders[transmitter_id]
+        self._attempt_pending[transmitter_id] = False
+        self._armed = None
+        queue = self._queues[transmitter_id]
+        if not queue:
+            self._release_channel()
+            return
+        frame, unicast_to, attempt = queue.popleft()
+        self._transmit(transmitter_id, frame, unicast_to, attempt)
+        self._freeze_contend(transmitter_id)
+
+    def _freeze_all(self, claim_time):
+        """The channel was claimed: freeze every contender's countdown."""
+        for record in self._contenders.values():
+            countdown_start = record[2]
+            if countdown_start is not None:
+                elapsed = claim_time - countdown_start
+                if elapsed > 0.0:
+                    left = record[0] - elapsed
+                    record[0] = left if left > 0.0 else 0.0
+                record[2] = None
+                self.freeze_count += 1
+            record[3] = None
+        self._armed = None
+
+    def _release_channel(self):
+        """A busy period ended: resume frozen countdowns, pick a winner.
+
+        The winner is the contender with the least remaining backoff
+        (ties broken by contention entry order, matching the defer
+        model's same-instant seq order).  Broadcast winners ride the
+        merged single-event path: the channel is claimed for them
+        immediately, and the other contenders' remaining backoff drops
+        by the winner's remainder — the idle slots they observed before
+        the claim — in O(1) per contender.
+        """
+        contenders = self._contenders
+        if not contenders:
+            return
+        now = self.sim.now
+        if now < self._busy_until or self._armed is not None:
+            return  # reclaimed already, or a winner is armed
+        win_id = None
+        win = None
+        for node_id, record in contenders.items():
+            if win is None or (record[0], record[1]) < (win[0], win[1]):
+                win_id, win = node_id, record
+        queue = self._queues[win_id]
+        if not queue:  # defensive: contenders always have a frame
+            del contenders[win_id]
+            self._attempt_pending[win_id] = False
+            return self._release_channel()
+        backoff_left = win[0]
+        countdown_start = now + self.difs
+        frame, unicast_to, attempt = queue[0]
+        if self.merge_uncontended and unicast_to is None:
+            del contenders[win_id]
+            self._attempt_pending[win_id] = False
+            for record in contenders.values():
+                left = record[0] - backoff_left
+                record[0] = left if left > 0.0 else 0.0
+                record[2] = None
+                record[3] = None
+                self.freeze_count += 1
+            self._claim_merged(win_id, countdown_start + backoff_left)
+            return
+        # Two-event path (unicast frames, or merging disabled): arm the
+        # winner and let every contender count down until the claim.
+        for record in contenders.values():
+            record[2] = countdown_start
+            record[3] = None
+        self._arm_winner(win_id, win, countdown_start + backoff_left)
+
     def _merged_resolve(self, transmitter_id, frame, start):
-        """Single-event tail of an uncontended merged transmission."""
+        """Single-event tail of a merged (claim-at-schedule) transmission."""
         self._in_flight[transmitter_id] -= 1
         end = self.sim.now
-        # Claim invariants: the medium was idle with no attempts
-        # outstanding, and ``busy_until`` blocked every later sender,
-        # so no frame can overlap ours.
-        active = self._active
-        if active:
-            active = [e for e in active if e > start]
-        active.append(end)
-        self._active = active
+        # Claim invariants: the medium was idle when the claim was
+        # made, and ``busy_until`` blocked every later sender, so no
+        # frame can overlap ours.
+        self._air_end = end
         kind = frame.kind_value
         self.tx_count[(transmitter_id, kind)] += 1
         self._tx_by_kind[kind] += 1
@@ -453,7 +736,12 @@ class WirelessMedium:
         for obs in self.observers:
             obs.on_transmit(transmitter_id, frame, start, end)
         self._resolve(transmitter_id, frame, start, False)
-        self._schedule_attempt(transmitter_id)
+        if self.csma == "freeze":
+            if self._contenders:
+                self._release_channel()
+            self._freeze_contend(transmitter_id)
+        else:
+            self._schedule_attempt(transmitter_id)
 
     def _transmit(self, transmitter_id, frame, unicast_to=None,
                   attempt=0):
@@ -461,13 +749,12 @@ class WirelessMedium:
         end = start + self.airtime(frame.size_bytes)
         # Collision bookkeeping: any concurrently airing frame (an end
         # time past our start) overlaps.
-        active = self._active
-        if active:
-            active = [e for e in active if e > start]
-        collided = bool(active)
-        active.append(end)
-        self._active = active
+        collided = self._air_end > start
+        if end > self._air_end:
+            self._air_end = end
         self._busy_until = max(self._busy_until, end)
+        if self.csma == "freeze" and self._contenders:
+            self._freeze_all(start)
 
         kind = frame.kind_value
         self.tx_count[(transmitter_id, kind)] += 1
@@ -484,9 +771,22 @@ class WirelessMedium:
             # we corrupt this frame only.  The earlier frame's
             # deliveries were decided at its start.
             pass
-        self.sim.schedule_fire_at(end, self._resolve, transmitter_id,
-                                  frame, start, collided, unicast_to,
-                                  attempt)
+        if self.csma == "freeze":
+            self.sim.schedule_fire_at(end, self._resolve_event,
+                                      transmitter_id, frame, start,
+                                      collided, unicast_to, attempt)
+        else:
+            self.sim.schedule_fire_at(end, self._resolve, transmitter_id,
+                                      frame, start, collided, unicast_to,
+                                      attempt)
+
+    def _resolve_event(self, transmitter_id, frame, start, collided,
+                       unicast_to=None, attempt=0):
+        """Resolve-event wrapper for the freeze model: release after."""
+        self._resolve(transmitter_id, frame, start, collided, unicast_to,
+                      attempt)
+        if self._contenders:
+            self._release_channel()
 
     def _resolve_entries(self, transmitter_id, t):
         """Per-transmitter ``(receiver_id, node, loss_eps, process)``
@@ -495,7 +795,8 @@ class WirelessMedium:
         The rows piggyback on the reachability entry's expiry, so the
         per-frame cost is one dict lookup and a float compare; node
         handles and eps accessors are re-resolved only when the index
-        refreshes.
+        refreshes.  (Scalar-kernel row cache; the array kernel keeps
+        its struct-of-arrays twin in :meth:`_resolve_rows`.)
         """
         links = self.links
         cached = self._entry_cache.get(transmitter_id)
@@ -518,6 +819,109 @@ class WirelessMedium:
                                              links.version)
         return entries
 
+    def _resolve_rows(self, transmitter_id, t):
+        """The array kernel's struct-of-arrays rows (same expiry).
+
+        A reachability refresh that leaves the in-range membership
+        unchanged (the common case between handoffs) keeps the existing
+        rows object — its thresholds and validity windows carry over,
+        since they are properties of the unchanged processes.
+        """
+        links = self.links
+        cached = self._row_cache.get(transmitter_id)
+        if cached is not None and t < cached[0] \
+                and cached[2] == links.version:
+            return cached[1]
+        expires, _, pairs = links._reach_entry(transmitter_id, t)
+        if cached is not None and cached[2] == links.version \
+                and cached[3] == pairs:
+            rows = cached[1]
+        else:
+            rows = _ResolveRows(pairs, transmitter_id, self._nodes)
+        self._row_cache[transmitter_id] = (expires, rows, links.version,
+                                           pairs)
+        return rows
+
+    def _draw_outcome_vector(self, n):
+        """*n* uniforms off the batched outcome stream, as a numpy view.
+
+        Consumes the underlying generator exactly as the scalar
+        kernel's per-draw loop does (same block size, same refill
+        cadence), so the two kernels see identical outcome values.
+        """
+        buf = self._outcome_vec
+        i = self._outcome_vec_i
+        left = buf.shape[0] - i
+        if n <= left:
+            self._outcome_vec_i = i + n
+            return buf[i:i + n]
+        parts = [buf[i:]] if left else []
+        need = n - left
+        block = self._outcome_block
+        while need > 0:
+            fresh = self._outcome_rng.random(block)
+            if need < block:
+                self._outcome_vec = fresh
+                self._outcome_vec_i = need
+                parts.append(fresh[:need])
+                need = 0
+            else:
+                self._outcome_vec = fresh
+                self._outcome_vec_i = block
+                parts.append(fresh)
+                need -= block
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def _resolve_array(self, transmitter_id, frame, start, unicast_to,
+                       attempt, rows):
+        """Array kernel: vectorized outcome compare over the SoA rows.
+
+        One uniform block slice is compared against the eps vector;
+        only rows whose validity window lapsed re-evaluate their
+        ``loss_eps``, and only the hits (deliveries) run python code.
+        """
+        unicast_delivered = False
+        n = rows.n
+        if n:
+            eps = rows.eps
+            if start >= rows.min_valid:
+                # At least one row's validity window lapsed: refresh
+                # those thresholds (the only python-per-row work the
+                # kernel ever does on the loss side).
+                valid_until = rows.valid_until
+                eps_fns = rows.eps_fns
+                window_fns = rows.window_fns
+                min_valid = math.inf
+                for i in range(n):
+                    bound = valid_until[i]
+                    if bound <= start:
+                        window_fn = window_fns[i]
+                        if window_fn is not None:
+                            value, bound = window_fn(start)
+                        else:
+                            # Valid at exactly this instant only.
+                            value, bound = eps_fns[i](start), start
+                        eps[i] = value
+                        valid_until[i] = bound
+                    if bound < min_valid:
+                        min_valid = bound
+                rows.min_valid = min_valid
+            u = self._draw_outcome_vector(n)
+            ids = rows.ids
+            receive = rows.receive
+            delivered_count = self.delivered_count
+            kind = frame.kind_value
+            for i, hit in enumerate((u >= eps).tolist()):
+                if not hit:
+                    continue
+                receiver_id = ids[i]
+                if receiver_id == unicast_to:
+                    unicast_delivered = True
+                delivered_count[(receiver_id, kind)] += 1
+                receive[i](frame, transmitter_id)
+        return self._finish_resolve(transmitter_id, frame, unicast_to,
+                                    attempt, unicast_delivered)
+
     def _resolve(self, transmitter_id, frame, start, collided,
                  unicast_to=None, attempt=0):
         unicast_delivered = False
@@ -539,6 +943,39 @@ class WirelessMedium:
             if collided:
                 return self._finish_resolve(transmitter_id, frame,
                                             unicast_to, attempt, False)
+            if self.kernel == "array":
+                rows = self._resolve_rows(transmitter_id, start)
+                if rows.all_eps:
+                    return self._resolve_array(transmitter_id, frame,
+                                               start, unicast_to,
+                                               attempt, rows)
+                # Mixed rows (some processes lack loss_eps): per-row
+                # loop, but eps draws still come off the kernel's
+                # vector buffer — an array-kernel run consumes the
+                # outcome stream through exactly one buffer, so the
+                # (frame, receiver) -> uniform assignment matches the
+                # scalar kernel's and the bitwise guarantee holds for
+                # mixed tables too.
+                ids = rows.ids
+                receive = rows.receive
+                eps_fns = rows.eps_fns
+                procs = rows.procs
+                for i in range(rows.n):
+                    eps_fn = eps_fns[i]
+                    if eps_fn is not None:
+                        if self._draw_outcome_vector(1)[0] \
+                                < eps_fn(start):
+                            continue
+                    elif procs[i].is_lost(start):
+                        continue
+                    receiver_id = ids[i]
+                    if receiver_id == unicast_to:
+                        unicast_delivered = True
+                    delivered_count[(receiver_id, kind)] += 1
+                    receive[i](frame, transmitter_id)
+                return self._finish_resolve(transmitter_id, frame,
+                                            unicast_to, attempt,
+                                            unicast_delivered)
             buf = self._outcome_buf
             bi = self._outcome_i
             for receiver_id, node, eps_fn, process in \
@@ -622,10 +1059,9 @@ class WirelessMedium:
             else:
                 # Retry budget exhausted; reset for the next frame.
                 self._cw[transmitter_id] = self.backoff_slots
-        transmitter = self._nodes.get(transmitter_id)
-        if transmitter is not None and hasattr(transmitter,
-                                               "on_transmit_complete"):
-            transmitter.on_transmit_complete(frame)
+        callback = self._complete_cb.get(transmitter_id)
+        if callback is not None:
+            callback(frame)
 
     # ------------------------------------------------------------------
     # Accounting

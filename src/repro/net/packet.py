@@ -76,7 +76,7 @@ class PacketIdAllocator:
         return next(self._counter)
 
 
-@dataclass
+@dataclass(slots=True)
 class DataPacket:
     """An application data packet.
 
@@ -140,7 +140,7 @@ class DataPacket:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Ack:
     """Broadcast acknowledgment with ViFi's 8-packet history bitmap.
 
@@ -178,7 +178,7 @@ class Ack:
                     yield candidate
 
 
-@dataclass
+@dataclass(slots=True)
 class Beacon:
     """Periodic broadcast beacon.
 

@@ -80,7 +80,10 @@ class Simulator:
     _COMPACT_MIN = 64
 
     def __init__(self, start_time=0.0):
-        self._now = float(start_time)
+        #: Current simulation time in seconds.  A plain attribute — the
+        #: clock is read on every hot-path callback, and the property
+        #: descriptor overhead was measurable; treat as read-only.
+        self.now = float(start_time)
         # Heap of (time, seq, EventHandle): raw tuples keep heap sifts
         # in C (seq is unique, so the handle itself is never compared).
         self._queue = []
@@ -88,11 +91,6 @@ class Simulator:
         self._running = False
         self._live = 0
         self.events_processed = 0
-
-    @property
-    def now(self):
-        """Current simulation time in seconds."""
-        return self._now
 
     def schedule(self, delay, callback, *args):
         """Schedule *callback(*args)* to fire *delay* seconds from now.
@@ -102,7 +100,7 @@ class Simulator:
         """
         if delay < 0 or not math.isfinite(delay):
             raise SimulationError(f"invalid delay {delay!r}")
-        time = self._now + delay
+        time = self.now + delay
         seq = next(self._seq)
         handle = EventHandle(time, seq, callback, args, owner=self)
         heapq.heappush(self._queue, (time, seq, handle))
@@ -111,9 +109,9 @@ class Simulator:
 
     def schedule_at(self, time, callback, *args):
         """Schedule *callback(*args)* at absolute simulation *time*."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time:.6f}, now is {self._now:.6f}"
+                f"cannot schedule at {time:.6f}, now is {self.now:.6f}"
             )
         time = float(time)
         seq = next(self._seq)
@@ -132,13 +130,29 @@ class Simulator:
         ``(time, seq, None, callback, args)`` tuple; ``seq`` is unique,
         so heap ordering never compares past it.
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time:.6f}, now is {self._now:.6f}"
+                f"cannot schedule at {time:.6f}, now is {self.now:.6f}"
             )
         heapq.heappush(
             self._queue,
             (float(time), next(self._seq), None, callback, args),
+        )
+        self._live += 1
+
+    def schedule_fire(self, delay, callback, *args):
+        """Relative-delay twin of :meth:`schedule_fire_at`.
+
+        For periodic bookkeeping that never cancels (per-second node
+        ticks, gateway wire latencies): the handle allocation of
+        :meth:`schedule` is skipped; times, sequence numbers and firing
+        order are identical to the handle-bearing call.
+        """
+        if delay < 0 or not math.isfinite(delay):
+            raise SimulationError(f"invalid delay {delay!r}")
+        heapq.heappush(
+            self._queue,
+            (self.now + delay, next(self._seq), None, callback, args),
         )
         self._live += 1
 
@@ -189,7 +203,7 @@ class Simulator:
                     break
                 heappop(queue)
                 self._live -= 1
-                self._now = time
+                self.now = time
                 if head is None:
                     callback = item[3]
                     args = item[4]
@@ -202,8 +216,8 @@ class Simulator:
                 self.events_processed += 1
         finally:
             self._running = False
-        if until is not None and self._now < until:
-            self._now = float(until)
+        if until is not None and self.now < until:
+            self.now = float(until)
         return processed
 
     def step(self):
@@ -214,7 +228,7 @@ class Simulator:
             if head is not None and head.cancelled:
                 continue
             self._live -= 1
-            self._now = item[0]
+            self.now = item[0]
             if head is None:
                 callback = item[3]
                 args = item[4]
@@ -240,4 +254,4 @@ class Simulator:
         return queue[0][0] if queue else None
 
     def __repr__(self):
-        return f"Simulator(now={self._now:.6f}, pending={self.pending})"
+        return f"Simulator(now={self.now:.6f}, pending={self.pending})"

@@ -1,0 +1,627 @@
+"""Equivalence tests for the PR 3 fast paths.
+
+Covers the guarantees the struct-of-arrays resolve kernel, the
+backoff-freezing CSMA model, and the vectorized node bookkeeping lean
+on:
+
+* the array kernel consumes the batched outcome stream exactly as the
+  scalar loop does, so ``kernel="array"`` runs are **bitwise
+  identical** to ``kernel="scalar"`` runs (same deliveries, same event
+  count, same counters) — asserted on short tier-1 runs and a full
+  trip under the ``slow`` marker;
+* ``loss_eps_window`` validity bounds are sound: within a window the
+  probability cannot change, so threshold reuse never changes an
+  outcome;
+* under a deterministic contention order (zero-width backoff window)
+  the freeze model reproduces the defer-cascade model's medium-access
+  order exactly, and a wide-slot ``BeaconSlotter`` protocol run
+  schedules **no defer events** under the freeze model;
+* freeze-vs-defer full protocol runs agree distributionally (same
+  beacon counts, closely matched delivery rates);
+* the ring-buffer receiver state matches the ordered-dict reference,
+  the estimator's batched ingest is observationally identical to eager
+  ingest, and relay probabilities served through the cached
+  :class:`~repro.core.relaying.RelayTable` equal the scalar
+  computation bit for bit.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.node import _ReceiverState
+from repro.core.probabilities import ReceptionEstimator
+from repro.core.protocol import ViFiConfig, ViFiSimulation
+from repro.core.relaying import RelayContext, RelayTable, make_strategy
+from repro.experiments.common import run_protocol_cbr, vanlan_protocol
+from repro.net.channel import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    SteeredGilbertElliott,
+    TraceDrivenLoss,
+)
+from repro.net.medium import LinkTable, MediumObserver, WirelessMedium
+from repro.net.packet import Beacon, DataPacket, Direction
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.testbeds.vanlan import VanLanTestbed
+
+
+def _protocol_signature(config, duration_s=30.0, seed=0):
+    """Delivery sequences + engine/medium counters of a pinned run."""
+    testbed = VanLanTestbed(seed=0)
+    sim, _ = vanlan_protocol(testbed, trip=0, seed=seed, config=config)
+    cbr = run_protocol_cbr(sim, duration_s)
+    return {
+        "up": sorted(cbr.up_deliveries.items()),
+        "down": sorted(cbr.down_deliveries.items()),
+        "events": sim.sim.events_processed,
+        "tx": sorted(sim.medium.tx_count.items()),
+        "delivered": sorted(sim.medium.delivered_count.items()),
+        "defers": sim.medium.defer_count,
+    }
+
+
+# ----------------------------------------------------------------------
+# Array kernel vs scalar kernel
+# ----------------------------------------------------------------------
+
+class TestArrayKernelBitwise:
+    def test_short_run_bitwise_identical(self):
+        """kernel="array" == kernel="scalar" on a 30 s protocol run."""
+        scalar = _protocol_signature(ViFiConfig(medium_kernel="scalar"))
+        array = _protocol_signature(ViFiConfig(medium_kernel="array"))
+        assert array == scalar
+        assert len(scalar["up"]) + len(scalar["down"]) > 50
+
+    @pytest.mark.slow
+    def test_full_trip_bitwise_identical(self):
+        """The same equality over the full 120 s pinned workload."""
+        scalar = _protocol_signature(ViFiConfig(medium_kernel="scalar"),
+                                     duration_s=120.0)
+        array = _protocol_signature(ViFiConfig(medium_kernel="array"),
+                                    duration_s=120.0)
+        assert array == scalar
+        assert len(scalar["up"]) + len(scalar["down"]) > 400
+
+    @pytest.mark.slow
+    def test_full_trip_bitwise_identical_under_defer_csma(self):
+        """Kernel equality is independent of the CSMA model."""
+        scalar = _protocol_signature(
+            ViFiConfig(medium_kernel="scalar", medium_csma="defer"),
+            duration_s=60.0,
+        )
+        array = _protocol_signature(
+            ViFiConfig(medium_kernel="array", medium_csma="defer"),
+            duration_s=60.0,
+        )
+        assert array == scalar
+
+    def test_probability_extremes(self):
+        """0/1-loss links behave exactly through the array kernel."""
+        sim = Simulator()
+        rngs = RngRegistry(11)
+        table = LinkTable()
+        table.set_link(0, 1, BernoulliLoss(0.0, rngs.stream("ok")))
+        table.set_link(0, 2, BernoulliLoss(1.0, rngs.stream("bad")))
+        medium = WirelessMedium(sim, table, rngs.stream("m"),
+                                kernel="array")
+
+        class _Node:
+            def __init__(self, node_id):
+                self.node_id = node_id
+                self.received = []
+
+            def on_receive(self, frame, transmitter_id):
+                self.received.append(frame.pkt_id)
+
+        nodes = [_Node(i) for i in range(3)]
+        for node in nodes:
+            medium.attach(node)
+        for pkt_id in range(20):
+            medium.send(0, DataPacket(pkt_id=pkt_id, src=0, dst=1,
+                                      direction=Direction.UPSTREAM,
+                                      size_bytes=100))
+        sim.run(until=5.0)
+        assert nodes[1].received == list(range(20))
+        assert nodes[2].received == []
+
+    def test_mixed_eps_tables_stay_bitwise_equal(self):
+        """A transmitter with an eps-less link keeps kernel equality.
+
+        Regression: the array kernel's fallback rows must draw their
+        uniforms from the same (single) outcome buffer as the
+        vectorized rows, or the per-(frame, receiver) assignment
+        diverges from the scalar kernel once the buffers refill.
+        """
+
+        class _CoinOnly:
+            """Duck-typed process without loss_eps (private stream)."""
+
+            static_loss_rate = 0.5
+
+            def __init__(self, rng):
+                self.rng = rng
+
+            def is_lost(self, t):
+                return bool(self.rng.random() < 0.5)
+
+            def loss_rate(self, t):
+                return 0.5
+
+        def run(kernel):
+            sim = Simulator()
+            rngs = RngRegistry(23)
+            table = LinkTable()
+            # Transmitter 0: mixed rows (eps-capable + eps-less).
+            table.set_link(0, 1, BernoulliLoss(0.4, rngs.stream("a")))
+            table.set_link(0, 2, _CoinOnly(rngs.stream("c")))
+            # Transmitter 1: pure eps rows (vector path).
+            table.set_link(1, 0, BernoulliLoss(0.3, rngs.stream("b")))
+            table.set_link(1, 2, BernoulliLoss(0.2, rngs.stream("d")))
+            medium = WirelessMedium(sim, table, rngs.stream("m"),
+                                    kernel=kernel, outcome_batch=8)
+
+            class _Node:
+                def __init__(self, node_id):
+                    self.node_id = node_id
+                    self.received = []
+
+                def on_receive(self, frame, transmitter_id):
+                    self.received.append((frame.pkt_id, transmitter_id))
+
+            nodes = [_Node(i) for i in range(3)]
+            for node in nodes:
+                medium.attach(node)
+            for pkt_id in range(40):
+                src = pkt_id % 2
+                sim.schedule(0.01 * pkt_id, medium.send, src,
+                             DataPacket(pkt_id=pkt_id, src=src,
+                                        dst=1 - src,
+                                        direction=Direction.UPSTREAM,
+                                        size_bytes=200))
+            sim.run(until=5.0)
+            return {n.node_id: list(n.received) for n in nodes}
+
+        assert run("array") == run("scalar")
+
+    def test_rows_fall_back_for_eps_less_processes(self):
+        """A process without loss_eps forces the scalar per-row loop."""
+
+        class _CoinOnly:
+            static_loss_rate = 0.0
+
+            def is_lost(self, t):
+                return False
+
+            def loss_rate(self, t):
+                return 0.0
+
+        sim = Simulator()
+        rngs = RngRegistry(3)
+        table = LinkTable()
+        table.set_link(0, 1, _CoinOnly())
+        medium = WirelessMedium(sim, table, rngs.stream("m"),
+                                kernel="array")
+
+        class _Node:
+            def __init__(self, node_id):
+                self.node_id = node_id
+                self.received = []
+
+            def on_receive(self, frame, transmitter_id):
+                self.received.append(frame.pkt_id)
+
+        for node_id in (0, 1):
+            medium.attach(_Node(node_id))
+        medium._nodes[1].received = []
+        medium.send(0, DataPacket(pkt_id=7, src=0, dst=1,
+                                  direction=Direction.UPSTREAM,
+                                  size_bytes=100))
+        sim.run(until=1.0)
+        assert medium._nodes[1].received == [7]
+
+
+class TestLossEpsWindows:
+    """``loss_eps_window`` bounds are sound: eps is constant inside."""
+
+    def _check_windows(self, process, step, n):
+        """Walk monotone times; probe strictly inside each window."""
+        t = 0.0
+        for _ in range(n):
+            eps, until = process.loss_eps_window(t)
+            assert 0.0 <= eps <= 1.0
+            assert until >= t
+            # A monotone probe strictly inside the window must see the
+            # same probability (that is the reuse guarantee the array
+            # kernel leans on).
+            if math.isfinite(until):
+                inside = min(0.25 * (until - t), 0.5 * step)
+            else:
+                inside = 0.5 * step
+            if inside > 0.0:
+                t = t + inside
+                assert process.loss_eps(t) == eps
+            t = t + step
+
+    def test_bernoulli(self):
+        process = BernoulliLoss(0.3, RngRegistry(1).stream("b"))
+        self._check_windows(process, 0.1, 50)
+
+    def test_gilbert_elliott(self):
+        process = GilbertElliottLoss(0.05, 0.8, 0.9, 0.12,
+                                     RngRegistry(2).stream("g"))
+        self._check_windows(process, 0.05, 200)
+
+    def test_trace_driven(self):
+        process = TraceDrivenLoss([0.1, 0.9, 0.4], RngRegistry(3).stream("t"))
+        self._check_windows(process, 0.13, 40)
+
+    def test_steered_static(self):
+        process = SteeredGilbertElliott(0.35, RngRegistry(4).stream("s"))
+        self._check_windows(process, 0.03, 300)
+
+    def test_steered_matches_loss_eps(self):
+        """window() returns the same eps value loss_eps would.
+
+        Twin processes on identically seeded *independent* streams
+        advance their chains through the same realization, so the
+        windowed and plain accessors must agree at every instant.
+        """
+        a = SteeredGilbertElliott(0.35, RngRegistry(9).stream("x"))
+        b = SteeredGilbertElliott(0.35, RngRegistry(9).fresh("x"))
+        assert a.rng is not b.rng
+        for k in range(200):
+            t = 0.017 * k
+            eps_w, _ = a.loss_eps_window(t)
+            assert eps_w == b.loss_eps(t)
+
+
+# ----------------------------------------------------------------------
+# Backoff-freezing CSMA
+# ----------------------------------------------------------------------
+
+class _TxOrderObserver(MediumObserver):
+    def __init__(self):
+        self.order = []
+
+    def on_transmit(self, transmitter_id, frame, start_time, end_time):
+        self.order.append((transmitter_id, frame.kind_value,
+                           getattr(frame, "pkt_id", None)))
+
+
+class TestBackoffFreeze:
+    def _contended_run(self, csma, sends, merge=True):
+        """Three nodes, zero backoff window -> deterministic order."""
+        sim = Simulator()
+        rngs = RngRegistry(7)
+        table = LinkTable()
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    table.set_link(a, b, BernoulliLoss(
+                        0.0, rngs.stream("l", a, b)))
+        medium = WirelessMedium(sim, table, rngs.stream("m"),
+                                backoff_slots=0, csma=csma,
+                                kernel="scalar", merge_uncontended=merge)
+        observer = _TxOrderObserver()
+        medium.add_observer(observer)
+
+        class _Node:
+            def __init__(self, node_id):
+                self.node_id = node_id
+                self.received = []
+
+            def on_receive(self, frame, transmitter_id):
+                self.received.append((frame.pkt_id, transmitter_id))
+
+        nodes = [_Node(i) for i in range(3)]
+        for node in nodes:
+            medium.attach(node)
+        for at, src, pkt_id in sends:
+            sim.schedule(at, medium.send, src,
+                         DataPacket(pkt_id=pkt_id, src=src,
+                                    dst=(src + 1) % 3,
+                                    direction=Direction.UPSTREAM,
+                                    size_bytes=600))
+        sim.run(until=2.0)
+        received = {n.node_id: list(n.received) for n in nodes}
+        return observer.order, received, medium.defer_count
+
+    #: Contention rounds with one outstanding frame per node: bursts
+    #: that contend at the same instant, plus arrivals landing inside
+    #: ongoing busy periods.  (With multi-frame queues the two models
+    #: legitimately differ in one fairness edge — the defer model lets
+    #: a finishing sender's next frame re-contend ahead of an
+    #: already-waiting contender, while the freeze model serves
+    #: waiters FIFO; see PERFORMANCE.md.)
+    SENDS = [
+        (0.0, 0, 0), (0.0, 1, 10), (0.0, 2, 20),
+        (0.1, 2, 21), (0.102, 1, 11),
+        (0.2, 0, 1), (0.2031, 1, 12), (0.2032, 2, 22),
+        (0.5, 1, 13),
+    ]
+
+    @pytest.mark.parametrize("merge", [True, False])
+    def test_matches_defer_medium_access_order(self, merge):
+        """Zero-window contention: freeze == defer access order."""
+        freeze_order, freeze_rx, freeze_defers = self._contended_run(
+            "freeze", self.SENDS, merge=merge)
+        defer_order, defer_rx, defer_defers = self._contended_run(
+            "defer", self.SENDS, merge=merge)
+        assert freeze_order == defer_order
+        assert freeze_rx == defer_rx
+        assert freeze_defers == 0
+        # The defer model really did pay deferred attempts for this
+        # schedule — the cascade the freeze model removes.
+        assert defer_defers > 0
+
+    def test_fifo_per_sender_under_saturation(self):
+        sends = [(0.0, src, src * 100 + k)
+                 for k in range(10) for src in range(3)]
+        order, received, defers = self._contended_run("freeze", sends)
+        assert defers == 0
+        data_order = [pkt for _, kind, pkt in order if kind == "data"]
+        for src in range(3):
+            mine = [p for p in data_order if p // 100 == src]
+            assert mine == sorted(mine)  # FIFO per sender
+        assert len(data_order) == len(sends)
+
+    def test_wide_slot_run_schedules_no_defers(self):
+        """Satellite: wide-slot BeaconSlotter + freeze -> zero defers."""
+        freeze = _protocol_signature(
+            ViFiConfig(medium_csma="freeze", beacon_slot_s=0.05),
+            duration_s=20.0,
+        )
+        assert freeze["defers"] == 0
+        defer = _protocol_signature(
+            ViFiConfig(medium_csma="defer", beacon_slot_s=0.05),
+            duration_s=20.0,
+        )
+        # Wide slots synchronize senders: the defer model pays a
+        # cascade for them, the freeze model pays nothing.
+        assert defer["defers"] > 0
+
+    @pytest.mark.slow
+    def test_freeze_vs_defer_distributional(self):
+        """Full-run freeze vs defer: same workload, equivalent output."""
+        freeze = _protocol_signature(ViFiConfig(medium_csma="freeze"),
+                                     duration_s=120.0)
+        defer = _protocol_signature(ViFiConfig(medium_csma="defer"),
+                                    duration_s=120.0)
+        # Beacon emission counts ride the nominal due chains, which
+        # the CSMA model does not touch.
+        freeze_beacons = sum(c for (_, kind), c in freeze["tx"]
+                             if kind == "beacon")
+        defer_beacons = sum(c for (_, kind), c in defer["tx"]
+                            if kind == "beacon")
+        assert abs(freeze_beacons - defer_beacons) <= 2
+        # Delivered traffic matches closely (different realizations of
+        # the same stochastic protocol).
+        for key in ("up", "down"):
+            n_freeze = len(freeze[key])
+            n_defer = len(defer[key])
+            assert n_freeze > 100
+            assert abs(n_freeze - n_defer) <= 0.1 * max(n_freeze, n_defer)
+
+
+# ----------------------------------------------------------------------
+# Node bookkeeping
+# ----------------------------------------------------------------------
+
+class _OrderedDictReceiverReference:
+    """The pre-PR 3 ordered-dict receiver state, as a test oracle."""
+
+    def __init__(self, memory=512):
+        from collections import OrderedDict
+        self.memory = memory
+        self._received = OrderedDict()
+
+    def record(self, pkt_id):
+        fresh = pkt_id not in self._received
+        self._received[pkt_id] = True
+        self._received.move_to_end(pkt_id)
+        while len(self._received) > self.memory:
+            self._received.popitem(last=False)
+        return fresh
+
+    def missing_bitmap(self, pkt_id):
+        bitmap = 0
+        for k in range(8):
+            candidate = pkt_id - 1 - k
+            if candidate >= 0 and candidate not in self._received:
+                bitmap |= 1 << k
+        return bitmap
+
+
+class TestReceiverStateRing:
+    def test_matches_reference_on_protocol_like_sequences(self):
+        """Ring+set == ordered-dict oracle over realistic id streams.
+
+        Ids mostly increase with local reordering and duplicates —
+        the pattern retransmissions and relays produce.  (The two
+        structures only diverge when a duplicate arrives more than the
+        memory depth late, which cannot happen within the 8-slot
+        bitmap / retransmission horizons.)
+        """
+        rng = random.Random(42)
+        state = _ReceiverState()
+        reference = _OrderedDictReceiverReference()
+        next_id = 0
+        window = []
+        for _ in range(5000):
+            if window and rng.random() < 0.3:
+                pkt_id = rng.choice(window)  # duplicate / reordered
+            else:
+                pkt_id = next_id
+                next_id += 1
+                window.append(pkt_id)
+                if len(window) > 32:
+                    window.pop(0)
+            assert state.record(pkt_id) == reference.record(pkt_id)
+            probe = max(pkt_id, 8)
+            assert state.missing_bitmap(probe) == \
+                reference.missing_bitmap(probe)
+
+    def test_memory_bounded(self):
+        state = _ReceiverState()
+        for pkt_id in range(3000):
+            state.record(pkt_id)
+        assert state.record(0)  # ancient id forgotten
+        assert not state.record(2999)
+
+
+def _beacon(sender, incoming=None, learned=None):
+    return Beacon(sender=sender, incoming=incoming or {},
+                  learned=learned or {})
+
+
+class TestEstimatorBatchedIngest:
+    def test_lazy_flush_is_observationally_eager(self):
+        """Query-per-beacon and query-at-end see identical state."""
+        eager = ReceptionEstimator(1)
+        lazy = ReceptionEstimator(1)
+        rng = random.Random(7)
+        beacons = []
+        for k in range(200):
+            sender = rng.choice([2, 3, 4])
+            beacons.append((_beacon(
+                sender,
+                incoming={1: rng.random(), 5: rng.random()},
+                learned={6: rng.random()},
+            ), 0.01 * k))
+        for beacon, now in beacons:
+            eager.on_beacon(beacon, now)
+            # Force an immediate fold on the eager instance.
+            assert eager.probability(beacon.sender, 1, now) >= 0.0
+            lazy.on_beacon(beacon, now)
+        final = beacons[-1][1]
+        for a in (2, 3, 4, 5, 6):
+            for b in (1, 2, 3, 4, 5, 6):
+                assert lazy.probability(a, b, final) == \
+                    eager.probability(a, b, final)
+        assert sorted(lazy.peers_heard_within(final, 10.0)) == \
+            sorted(eager.peers_heard_within(final, 10.0))
+        lazy.tick_second(2.0)
+        eager.tick_second(2.0)
+        assert lazy.incoming_estimates() == eager.incoming_estimates()
+
+    def test_beacon_reports_shared_maps_are_frozen(self):
+        """A sent beacon's maps never change after the fact (COW)."""
+        est = ReceptionEstimator(1)
+        est.on_beacon(_beacon(2, incoming={1: 0.5}), now=0.0)
+        incoming_1, learned_1 = est.beacon_reports(now=0.1)
+        snapshot = dict(learned_1)
+        # A later peer report about node 1 must not mutate the maps
+        # already embedded in transmitted beacons.
+        est.on_beacon(_beacon(3, incoming={1: 0.9}), now=0.2)
+        _, learned_2 = est.beacon_reports(now=0.3)
+        assert dict(learned_1) == snapshot
+        assert learned_2[3] == 0.9
+
+    def test_beacon_reports_match_fresh_build(self):
+        """Cached reports equal an uncached rebuild at every instant."""
+        est = ReceptionEstimator(1, stale_s=1.0)
+        est.on_beacon(_beacon(2, incoming={1: 0.5}), now=0.0)
+        est.on_beacon(_beacon(3, incoming={1: 0.7}), now=0.4)
+        for now in (0.5, 0.9, 1.05, 1.2, 1.45, 2.0):
+            _, learned = est.beacon_reports(now=now)
+            expected = {
+                peer: prob for peer, (prob, ts) in est._outgoing.items()
+                if now - ts <= est.stale_s
+            }
+            assert dict(learned) == expected
+
+
+class TestRelayTable:
+    def _estimator_with_state(self):
+        est = ReceptionEstimator(3, stale_s=5.0)
+        est.on_beacon(_beacon(0, incoming={1: 0.8, 3: 0.6, 4: 0.3},
+                              learned={3: 0.55}), now=1.0)
+        est.on_beacon(_beacon(1, incoming={0: 0.7, 3: 0.45, 4: 0.2},
+                              learned={0: 0.75}), now=1.1)
+        est.on_beacon(_beacon(4, incoming={0: 0.35, 1: 0.25},
+                              learned={1: 0.3}), now=1.2)
+        for k in range(9):
+            est.on_beacon(_beacon(3, incoming={}), now=1.3 + 0.01 * k)
+        return est
+
+    def test_table_matches_scalar_probabilities(self):
+        est = self._estimator_with_state()
+        now = 2.0
+        aux_ids = (3, 4)
+        src, dst = 0, 1
+        table = est.relay_table(aux_ids, src, dst, now)
+        p = est.probability_lookup(now)
+        p_src_dst = p(src, dst)
+        denominator = 0.0
+        for i, aux in enumerate(aux_ids):
+            c_i = p(src, aux) * (1.0 - p_src_dst * p(dst, aux))
+            assert float(table.contention[i]) == c_i
+            assert float(table.p_to_dst[i]) == p(aux, dst)
+            denominator += c_i * p(aux, dst)
+        assert table.denominator == denominator
+        assert table.own_delivery(3) == p(3, dst)
+
+    def test_cached_table_stays_exact_across_unrelated_traffic(self):
+        est = self._estimator_with_state()
+        now = 2.0
+        table_1 = est.relay_table((3, 4), 0, 1, now)
+        # A beacon from a non-participant must not invalidate the
+        # entry; participants' reports do.
+        est.on_beacon(_beacon(9, incoming={}), now=2.05)
+        table_2 = est.relay_table((3, 4), 0, 1, 2.1)
+        assert table_2 is table_1
+        est.on_beacon(_beacon(0, incoming={1: 0.9, 3: 0.7, 4: 0.4}),
+                      now=2.2)
+        table_3 = est.relay_table((3, 4), 0, 1, 2.3)
+        assert table_3 is not table_1
+        p = est.probability_lookup(2.3)
+        assert table_3.own_delivery(3) == p(3, 1)
+
+    def test_strategies_agree_with_and_without_table(self):
+        est = self._estimator_with_state()
+        now = 2.0
+        aux_ids = (3, 4)
+        table = est.relay_table(aux_ids, 0, 1, now)
+        p = est.probability_lookup(now)
+        for name in ("vifi", "not-g1", "not-g2"):
+            strategy = make_strategy(name)
+            with_table = strategy.relay_probability(RelayContext(
+                self_id=3, aux_ids=aux_ids, src=0, dst=1, p=p,
+                table=table,
+            ))
+            without = strategy.relay_probability(RelayContext(
+                self_id=3, aux_ids=aux_ids, src=0, dst=1, p=p,
+            ))
+            assert with_table == without
+
+    def test_degenerate_denominator_falls_back_to_relay(self):
+        table = RelayTable((7,), 0, 1, lambda a, b: 0.0)
+        strategy = make_strategy("vifi")
+        probability = strategy.relay_probability(RelayContext(
+            self_id=7, aux_ids=(7,), src=0, dst=1,
+            p=lambda a, b: 0.0, table=table,
+        ))
+        assert probability == 1.0
+
+
+# ----------------------------------------------------------------------
+# Protocol-level sanity of the new defaults
+# ----------------------------------------------------------------------
+
+class TestDefaultConfigSanity:
+    def test_default_run_delivers_traffic_without_defers(self):
+        sig = _protocol_signature(ViFiConfig(), duration_s=25.0)
+        assert sig["defers"] == 0
+        assert len(sig["up"]) + len(sig["down"]) > 50
+
+    def test_scalar_defer_config_restores_cascade_model(self):
+        sig = _protocol_signature(
+            ViFiConfig(medium_kernel="scalar", medium_csma="defer",
+                       beacon_slot_s=0.005),
+            duration_s=25.0,
+        )
+        assert sig["defers"] > 0
+        assert len(sig["up"]) + len(sig["down"]) > 50

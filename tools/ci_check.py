@@ -9,11 +9,16 @@ Runs, in order:
 
 1. the tier-1 test suite (``pytest -x -q`` — fast tests only; the
    ``slow`` and ``bench`` markers are excluded by ``pytest.ini``),
-2. the slow correctness tests (``pytest -m slow``), which include the
-   banked-vs-scalar and batching equivalence properties,
+2. the slow correctness tests (``pytest -m slow``): the banked-vs-
+   scalar and batching equivalence properties, plus the PR 3
+   array-kernel / backoff-freezing CSMA equivalence suite
+   (``tests/test_perf_kernel.py`` — full-trip array==scalar bitwise
+   equality and freeze-vs-defer protocol equivalence).  The stage
+   fails if the slow marker collects nothing, so a marker typo cannot
+   silently skip the suite,
 3. the perf gate (``python -m repro bench`` via ``tools/perf_smoke.py``),
-   which rewrites ``BENCH_perf.json`` and fails on a tracked-rate
-   regression beyond tolerance.
+   which rewrites ``BENCH_perf.json`` and fails on a >20% tracked-rate
+   regression against the committed numbers.
 
 Exits non-zero as soon as a stage fails, and prints a one-line summary
 per stage either way.

@@ -5,6 +5,7 @@ Usage::
 
     PYTHONPATH=src python tools/perf_smoke.py [--repeats N]
         [--tolerance 0.2] [--no-write] [--no-scaling]
+        [--profile [--profile-top N] [--profile-sort KEY]]
 
 Runs the pinned perf workloads plus the multi-trip scaling sweep (see
 ``repro.experiments.perf``), prints the per-workload deltas against the
@@ -14,6 +15,15 @@ numbers, and exits non-zero when any workload regressed by more than
 sweep's outputs diverge from the serial sweep.  Intended as the CI perf
 gate: wall-clock noise on shared runners is absorbed by the tolerance
 and the best-of-``--repeats`` policy.
+
+The scaling entry records whether the parallel-speedup target was
+enforced; on hosts without four free cores the recorded
+``parallel_gate`` spells out the skip reason (e.g. ``available_workers:
+1``) so a sub-1.0 speedup reads as pool overhead, not a regression.
+
+``--profile`` skips gating and instead runs each pinned workload under
+cProfile, printing the top-N functions per workload — the residual
+profile future perf PRs cite.
 
 A committed file whose workloads do not match the current pinned set
 (renamed or newly added workloads) is reported clearly and does not
@@ -32,13 +42,25 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.experiments.perf import (  # noqa: E402
     BENCH_PATH,
+    WORKLOADS,
+    profile_workload,
     run_perf_suite,
     run_trip_scaling,
     write_bench_file,
 )
 
 #: Rates gated against the committed numbers (higher is better).
+#: ``sim_s_per_wall_s`` always gates (the workload-level metric the
+#: speedup targets are defined on).  ``events_per_s`` only gates when
+#: the pinned event count is still comparable: a fast path that
+#: *removes* heap events (merged transmissions, backoff freezing)
+#: legitimately lowers ev/s while making the run faster, and must not
+#: read as a regression.
 TRACKED_RATES = ("events_per_s", "sim_s_per_wall_s")
+
+#: Relative event-count change beyond which events_per_s stops gating
+#: (the workload was restructured, not slowed down).
+EVENT_COUNT_COMPARABLE = 0.02
 
 
 def _delta(new, old):
@@ -96,6 +118,19 @@ def compare_to_committed(results, committed, tolerance):
                     )
                 continue
             if delta < -tolerance:
+                if rate == "events_per_s":
+                    old_events = old.get("events")
+                    new_events = record.get("events")
+                    if old_events and new_events and abs(
+                        new_events / old_events - 1.0
+                    ) > EVENT_COUNT_COMPARABLE:
+                        notes.append(
+                            f"{name}: events_per_s {delta:+.1%} with "
+                            f"the event count restructured "
+                            f"({old_events} -> {new_events}); gating "
+                            f"on sim_s_per_wall_s only"
+                        )
+                        continue
                 failures.append(
                     f"{name}: {rate} {record[rate]:.1f} is "
                     f"{-delta:.1%} below committed {old[rate]:.1f} "
@@ -135,6 +170,9 @@ def print_report(results, committed, scaling=None):
               f"{scaling['parallel_wall_s']:.3f} s on "
               f"{scaling['workers']} workers "
               f"({scaling['parallel_speedup']}x, outputs {same})")
+        gate = scaling.get("parallel_gate")
+        if gate and gate != "enforced":
+            print(f"{'':<20s} parallel-speedup target {gate}")
 
 
 def main(argv=None):
@@ -148,7 +186,24 @@ def main(argv=None):
                              "BENCH_perf.json")
     parser.add_argument("--no-scaling", action="store_true",
                         help="skip the multi-trip scaling sweep")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each pinned workload and print "
+                             "the top functions instead of gating")
+    parser.add_argument("--profile-top", type=int, default=25,
+                        help="rows per workload in --profile output")
+    parser.add_argument("--profile-sort", default="cumulative",
+                        help="pstats sort key for --profile "
+                             "(e.g. cumulative, tottime)")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        for name in WORKLOADS:
+            header, report = profile_workload(
+                name, top=args.profile_top, sort=args.profile_sort,
+            )
+            print(f"== {header}")
+            print(report)
+        return 0
 
     committed = {}
     if BENCH_PATH.exists():
