@@ -8,9 +8,13 @@ co-visible from the bus are unreachable — and compares ViFi with BRR
 on a VoIP workload.
 
 Run:
-    python examples/dieselnet_trace_study.py
+    python examples/dieselnet_trace_study.py [--seconds N]
+
+``--seconds`` caps the packet-level replay length; the test suite
+smoke-runs every example with a tiny cap.
 """
 
+import argparse
 import statistics
 
 import numpy as np
@@ -26,7 +30,7 @@ from repro.sim.rng import RngRegistry
 from repro.testbeds.dieselnet import DieselNetTestbed
 
 
-def main():
+def main(seconds=None):
     testbed = DieselNetTestbed(channel=1, seed=2)
     print("Profiling one DieselNet day on Channel 1 "
           f"({testbed.deployment.n_bs} BSes in the town core)...")
@@ -49,6 +53,8 @@ def main():
         rngs = RngRegistry(1).spawn("example", name)
         sim, duration = dieselnet_protocol(log, rngs, config=config,
                                            seed=4)
+        if seconds is not None:
+            duration = min(duration, float(seconds))
         router = FlowRouter(sim)
         stream = VoipStream(sim, router)
         stream.start(WARMUP_S)
@@ -64,4 +70,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="cap the packet-level replay length")
+    main(seconds=parser.parse_args().seconds)

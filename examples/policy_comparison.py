@@ -6,8 +6,14 @@ prints both aggregate delivery and uninterrupted-session metrics —
 the measurement study that motivates ViFi.
 
 Run:
-    python examples/policy_comparison.py
+    python examples/policy_comparison.py [--seconds N]
+
+``--seconds`` truncates the generated trips (trace generation and
+replay are both linear in the trip length); the test suite smoke-runs
+every example with a tiny cap.
 """
+
+import argparse
 
 from repro.experiments.study import policy_factories
 from repro.handoff.evaluator import evaluate_policy
@@ -20,12 +26,15 @@ from repro.testbeds.vanlan import VanLanTestbed
 TRIPS = (0, 1)
 
 
-def main():
+def main(seconds=None):
     testbed = VanLanTestbed(seed=3)
     print("Generating probe traces (two evaluation trips plus history "
           "training)...")
-    training = [testbed.generate_probe_trace(8000 + i) for i in range(4)]
-    traces = [testbed.generate_probe_trace(t) for t in TRIPS]
+    training = [testbed.generate_probe_trace(8000 + i,
+                                             max_seconds=seconds)
+                for i in range(4)]
+    traces = [testbed.generate_probe_trace(t, max_seconds=seconds)
+              for t in TRIPS]
 
     print(f"\n{'policy':<10s} {'packets':>9s} {'median session':>15s} "
           f"{'handoffs':>9s}")
@@ -52,4 +61,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="truncate the generated trips")
+    main(seconds=parser.parse_args().seconds)

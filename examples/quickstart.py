@@ -6,8 +6,13 @@ paper's probe workload (500-byte packets every 100 ms in both
 directions), and reports delivery and uninterrupted-session metrics.
 
 Run:
-    python examples/quickstart.py
+    python examples/quickstart.py [--seconds N]
+
+``--seconds`` caps the simulated trip length (the full trip is about
+3.5 minutes); the test suite smoke-runs every example with a tiny cap.
 """
+
+import argparse
 
 from repro.core.protocol import ViFiConfig
 from repro.experiments.common import run_protocol_cbr, vanlan_protocol
@@ -18,15 +23,19 @@ from repro.handoff.sessions import (
 from repro.testbeds.vanlan import VanLanTestbed
 
 
-def main():
+def main(seconds=None):
     testbed = VanLanTestbed(seed=5)
     base = ViFiConfig()
     print("Running one VanLAN shuttle trip under two protocols...\n")
     print(f"{'protocol':<10s} {'delivery':>9s} {'median session':>15s} "
           f"{'anchor changes':>15s}")
     for name, config in (("ViFi", base), ("BRR", base.brr_variant())):
-        sim, duration = vanlan_protocol(testbed, trip=0, config=config,
-                                        seed=11)
+        sim, duration = vanlan_protocol(
+            testbed, trip=0, config=config, seed=11,
+            prefill=True if seconds is None else float(seconds),
+        )
+        if seconds is not None:
+            duration = min(duration, float(seconds))
         cbr = run_protocol_cbr(sim, duration, deadline_s=0.1)
         ratios = cbr.window_reception_ratio(1.0, deadline_s=0.1)
         lengths = session_lengths(ratios >= 0.5)
@@ -42,4 +51,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="cap the simulated trip length")
+    main(seconds=parser.parse_args().seconds)

@@ -5,9 +5,13 @@ during a VanLAN shuttle trip under ViFi and under BRR, and prints the
 per-3-second MoS timeline plus the uninterrupted-session summary.
 
 Run:
-    python examples/voip_drive.py
+    python examples/voip_drive.py [--seconds N]
+
+``--seconds`` caps the simulated call length (the full trip is about
+3.5 minutes); the test suite smoke-runs every example with a tiny cap.
 """
 
+import argparse
 import statistics
 
 from repro.apps.voip import VoipStream
@@ -17,9 +21,14 @@ from repro.experiments.common import WARMUP_S, vanlan_protocol
 from repro.testbeds.vanlan import VanLanTestbed
 
 
-def run_call(config, label, trip=0):
+def run_call(config, label, trip=0, seconds=None):
     testbed = VanLanTestbed(seed=5)
-    sim, duration = vanlan_protocol(testbed, trip, config=config, seed=7)
+    sim, duration = vanlan_protocol(
+        testbed, trip, config=config, seed=7,
+        prefill=True if seconds is None else float(seconds),
+    )
+    if seconds is not None:
+        duration = min(duration, float(seconds))
     router = FlowRouter(sim)
     stream = VoipStream(sim, router)
     stream.start(WARMUP_S)
@@ -44,11 +53,11 @@ def run_call(config, label, trip=0):
     return stream
 
 
-def main():
+def main(seconds=None):
     base = ViFiConfig()
     print("Placing a VoIP call from the shuttle (one trip, ~3.5 min)...")
-    run_call(base, "ViFi")
-    run_call(base.brr_variant(), "BRR (hard handoff)")
+    run_call(base, "ViFi", seconds=seconds)
+    run_call(base.brr_variant(), "BRR (hard handoff)", seconds=seconds)
     print(
         "\nThe paper's finding: ViFi roughly doubles the length of\n"
         "disruption-free calling time because auxiliary basestations\n"
@@ -57,4 +66,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="cap the simulated call length")
+    main(seconds=parser.parse_args().seconds)

@@ -6,8 +6,13 @@ link layer during a VanLAN trip.  Transfers stalling for ten seconds
 abort and delimit sessions, as in the paper.
 
 Run:
-    python examples/web_browsing.py
+    python examples/web_browsing.py [--seconds N]
+
+``--seconds`` caps the simulated trip length (the full trip is about
+3.5 minutes); the test suite smoke-runs every example with a tiny cap.
 """
+
+import argparse
 
 from repro.apps.tcp import TcpWorkload
 from repro.apps.workload import FlowRouter
@@ -16,9 +21,14 @@ from repro.experiments.common import WARMUP_S, vanlan_protocol
 from repro.testbeds.vanlan import VanLanTestbed
 
 
-def browse(config, label, trip=0):
+def browse(config, label, trip=0, seconds=None):
     testbed = VanLanTestbed(seed=5)
-    sim, duration = vanlan_protocol(testbed, trip, config=config, seed=9)
+    sim, duration = vanlan_protocol(
+        testbed, trip, config=config, seed=9,
+        prefill=True if seconds is None else float(seconds),
+    )
+    if seconds is not None:
+        duration = min(duration, float(seconds))
     router = FlowRouter(sim)
     workload = TcpWorkload(sim, router)
     workload.start(WARMUP_S)
@@ -36,13 +46,14 @@ def browse(config, label, trip=0):
     return workload
 
 
-def main():
+def main(seconds=None):
     base = ViFiConfig()
     print("Fetching 10 KB pages from the shuttle (one trip)...")
-    vifi = browse(base, "ViFi")
+    vifi = browse(base, "ViFi", seconds=seconds)
     diversity = browse(base.diversity_only_variant(),
-                       "ViFi without salvaging")
-    brr = browse(base.brr_variant(), "BRR (hard handoff)")
+                       "ViFi without salvaging", seconds=seconds)
+    brr = browse(base.brr_variant(), "BRR (hard handoff)",
+                 seconds=seconds)
     if brr.completed and vifi.completed:
         gain = len(vifi.completed) / max(len(brr.completed), 1)
         print(f"\nViFi completed {gain:.1f}x as many transfers as hard "
@@ -51,4 +62,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="cap the simulated trip length")
+    main(seconds=parser.parse_args().seconds)

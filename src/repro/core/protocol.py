@@ -78,6 +78,15 @@ class ViFiConfig:
     # suite).  The defer model pairs with the narrow 5 ms beacon slot.
     medium_csma: str = "freeze"
 
+    # Slot-batch resolve: hand each beacon slot's emissions to the
+    # medium as one batch — when the medium is idle and every emitter
+    # is free, the whole slot costs a single heap event and one
+    # stacked numpy outcome pass (receivers then observe the batch at
+    # its last frame's end, at most one slot late — the bound beacon
+    # slotting already accepts on the emission side).  False restores
+    # per-frame sends bitwise.
+    medium_slot_batch: bool = True
+
     # Anchor / auxiliary designation (Section 4.3).
     anchor_hysteresis: float = 0.15
     min_anchor_quality: float = 0.05
@@ -304,6 +313,7 @@ class ViFiSimulation:
             merge_uncontended=self.config.medium_merge_uncontended,
             kernel=self.config.medium_kernel,
             csma=self.config.medium_csma,
+            slot_batch=self.config.medium_slot_batch,
         )
         self.backplane = Backplane(
             self.sim,
@@ -334,8 +344,13 @@ class ViFiSimulation:
             self.ctx.relay_strategy = _NeverRelay()
 
         if self.config.beacon_slot_s > 0.0:
+            # Without slot batching the slotter keeps the historical
+            # per-node emission path verbatim (no medium hand-off), so
+            # legacy-knob runs stay bitwise.
             self.ctx.beacon_slotter = BeaconSlotter(
-                self.sim, self.config.beacon_slot_s
+                self.sim, self.config.beacon_slot_s,
+                medium=self.medium
+                if self.config.medium_slot_batch else None,
             )
         self.vehicle = VehicleNode(vehicle_id, self.ctx)
         self.ctx.register(self.vehicle)

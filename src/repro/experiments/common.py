@@ -21,10 +21,13 @@ from repro.testbeds.vanlan import VEHICLE_ID, VanLanTestbed
 __all__ = [
     "WARMUP_S",
     "available_workers",
+    "build_shared_banks",
     "dieselnet_protocol",
     "init_worker_state",
+    "install_shared_banks",
     "run_protocol_cbr",
     "run_trips",
+    "shared_bank",
     "vanlan_cbr_trip",
     "vanlan_protocol",
     "worker_state",
@@ -34,20 +37,44 @@ __all__ = [
 WARMUP_S = 3.0
 
 
-def vanlan_protocol(testbed, trip, config=None, seed=0):
+def vanlan_protocol(testbed, trip, config=None, seed=0, bank=None,
+                    sampling="centre", prefill=True):
     """A protocol run over one VanLAN trip (deployment-style links).
 
+    With the default bucket-centre ``sampling``, the whole trip's
+    propagation buckets are prefilled at build time (``prefill=True``),
+    so the run itself performs only array reads; a prebuilt *bank*
+    (from :func:`build_shared_banks` / a ``run_trips`` initializer)
+    skips even that build.  *prefill* may also be a float horizon in
+    simulated seconds for runs known to stop early — the horizon never
+    changes bucket values (they are pure functions of the bucket), only
+    how much is precomputed.  ``sampling="first-query"`` restores the
+    historical lazily-refreshed bank bitwise (and ignores *prefill*,
+    which first-query sampling cannot support).
+
     Returns:
-        ``(simulation, trip_duration_s)``.
+        ``(simulation, trip_duration_s)``.  The simulation exposes the
+        propagation bank (or ``None``) as ``sim.link_bank``.
     """
     if not isinstance(testbed, VanLanTestbed):
         raise TypeError("expected a VanLanTestbed")
     motion = testbed.vehicle_motion()
-    table = testbed.build_link_table(trip, motion)
+    if bank is not None:
+        table = testbed.build_link_table(trip, motion, bank=bank)
+    else:
+        if not prefill or sampling != "centre":
+            prefill_s = None
+        elif prefill is True:
+            prefill_s = motion.route.duration
+        else:
+            prefill_s = min(float(prefill), motion.route.duration)
+        table = testbed.build_link_table(trip, motion, sampling=sampling,
+                                         prefill_s=prefill_s)
     sim = ViFiSimulation(
         testbed.deployment.bs_ids, table,
         config=config or ViFiConfig(), seed=seed, vehicle_id=VEHICLE_ID,
     )
+    sim.link_bank = table.link_bank
     return sim, motion.route.duration
 
 
@@ -178,6 +205,57 @@ def worker_state():
     return _worker_state
 
 
+# ----------------------------------------------------------------------
+# Cross-run propagation-bank sharing
+# ----------------------------------------------------------------------
+#
+# Under bucket-centre sampling a prefilled LinkBank is a pure function
+# of (testbed seed, trip, quantum): every protocol seed and policy
+# variant that replays the same trip reads identical bucket values.  A
+# sweep therefore builds each needed bank once in the parent and ships
+# the registry through ``run_trips``'s initializer — under the fork
+# start method the workers inherit the prefilled pages instead of
+# rebuilding the propagation stack per task, and the serial path
+# installs the same registry in-process, so shared and per-task banks
+# are interchangeable bit for bit.
+
+_shared_banks = {}
+
+
+def install_shared_banks(banks):
+    """``run_trips`` initializer: install the shared-bank registry.
+
+    *banks* maps ``(testbed_seed, trip)`` to a prefilled
+    :class:`~repro.net.propagation.LinkBank`.  Pass ``{}`` to clear.
+    """
+    global _shared_banks
+    _shared_banks = dict(banks)
+
+
+def shared_bank(testbed_seed, trip):
+    """The installed shared bank for ``(testbed_seed, trip)``, if any."""
+    return _shared_banks.get((int(testbed_seed), int(trip)))
+
+
+def build_shared_banks(testbed_seed, trips, prefill=True):
+    """Build one prefilled bank per trip for a ``run_trips`` sweep.
+
+    Returns:
+        Mapping ``(testbed_seed, trip) -> LinkBank`` for
+        :func:`install_shared_banks`, each prefilled to the trip's
+        route duration when *prefill* is set.
+    """
+    testbed = VanLanTestbed(seed=int(testbed_seed))
+    banks = {}
+    for trip in trips:
+        motion = testbed.vehicle_motion()
+        banks[(int(testbed_seed), int(trip))] = testbed.build_link_bank(
+            trip, motion,
+            prefill_s=motion.route.duration if prefill else None,
+        )
+    return banks
+
+
 def vanlan_cbr_trip(task):
     """Worker: one VanLAN CBR protocol run, summarized picklably.
 
@@ -189,13 +267,21 @@ def vanlan_cbr_trip(task):
     Returns:
         dict with the delivery sequences, event count, and per-kind
         transmission counters of the run — everything the scaling
-        benchmark needs to check parallel-vs-serial equality.
+        benchmark needs to check parallel-vs-serial equality — plus
+        ``bank_shared``: whether the propagation bank came from the
+        installed shared registry (shared and freshly built banks are
+        bit-identical; the flag only reports the reuse).
     """
     trip = int(task["trip"])
     seed = int(task.get("seed", trip))
     duration = float(task.get("duration_s", 60.0))
-    testbed = VanLanTestbed(seed=int(task.get("testbed_seed", 0)))
-    sim, _ = vanlan_protocol(testbed, trip=trip, seed=seed)
+    testbed_seed = int(task.get("testbed_seed", 0))
+    testbed = VanLanTestbed(seed=testbed_seed)
+    bank = shared_bank(testbed_seed, trip)
+    # Without a shared bank, prefill only what the task will simulate
+    # (the horizon never changes bucket values, only build cost).
+    sim, _ = vanlan_protocol(testbed, trip=trip, seed=seed, bank=bank,
+                             prefill=duration + 1.0)
     cbr = run_protocol_cbr(sim, duration)
     return {
         "trip": trip,
@@ -204,4 +290,5 @@ def vanlan_cbr_trip(task):
         "up_deliveries": sorted(cbr.up_deliveries.items()),
         "down_deliveries": sorted(cbr.down_deliveries.items()),
         "tx_count": sorted(sim.medium.tx_count.items()),
+        "bank_shared": bank is not None,
     }

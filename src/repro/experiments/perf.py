@@ -47,7 +47,9 @@ import time
 
 from repro.experiments.common import (
     available_workers,
+    build_shared_banks,
     dieselnet_protocol,
+    install_shared_banks,
     run_protocol_cbr,
     run_trips,
     vanlan_cbr_trip,
@@ -155,11 +157,17 @@ def run_workload(name):
     plus the recorded seed baselines and the resulting speedups
     (``speedup_vs_baseline`` is the sim-rate speedup the targets are
     defined on; ``events_speedup_vs_baseline`` keeps the PR 1 trend
-    line).
+    line).  Construction cost is reported separately: ``build_s`` is
+    the wall spent building the simulation (testbed, link table,
+    propagation bank) and ``prefill_s`` the bank-prefill share of it —
+    neither is ever charged to the timed region, so the sim-rate
+    reflects run cost alone.
     """
     if name not in _BUILDERS:
         raise KeyError(f"unknown workload {name!r}; have {WORKLOADS}")
+    t0 = time.perf_counter()
     sim, duration = _BUILDERS[name]()
+    build_wall = time.perf_counter() - t0
     gc_was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
@@ -173,9 +181,12 @@ def run_workload(name):
     events = sim.sim.events_processed
     events_per_s = events / wall if wall > 0 else float("inf")
     sim_rate = duration / wall if wall > 0 else float("inf")
+    bank = getattr(sim, "link_bank", None)
     record = {
         "workload": name,
         "wall_s": round(wall, 4),
+        "build_s": round(build_wall, 4),
+        "prefill_s": round(getattr(bank, "prefill_wall_s", 0.0), 4),
         "events": int(events),
         "events_per_s": round(events_per_s, 1),
         "sim_s_per_wall_s": round(sim_rate, 2),
@@ -194,18 +205,24 @@ def run_workload(name):
     return record
 
 
-def profile_workload(name, top=25, sort="cumulative"):
+def profile_workload(name, top=25, sort="cumulative", dump_path=None):
     """cProfile one pinned workload; return the top-*top* report text.
 
     The residual profile is the input every perf PR argues from;
     ``python -m repro bench --profile`` prints it per workload so the
-    numbers are citable without ad-hoc scripts.
+    numbers are citable without ad-hoc scripts, and
+    ``--profile-out <dir>`` additionally dumps the raw ``.pstats``
+    payload per workload so successive perf PRs can *diff* profiles
+    instead of eyeballing printouts.
 
     Args:
         name: a pinned workload name (see :data:`WORKLOADS`).
         top: rows to keep per sort order.
         sort: a ``pstats`` sort key (``"cumulative"``, ``"tottime"``,
             ...).
+        dump_path: when set, write the raw profiler stats there
+            (loadable with :class:`pstats.Stats` /
+            ``snakeviz``-style tooling).
 
     Returns:
         ``(header_line, report_text)``.
@@ -226,6 +243,8 @@ def profile_workload(name, top=25, sort="cumulative"):
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats(sort).print_stats(top)
+    if dump_path is not None:
+        stats.dump_stats(dump_path)
     header = (f"{name}: {sim.sim.events_processed} events in "
               f"{wall:.3f} s under cProfile "
               f"({stats.total_calls} calls; top {top} by {sort})")
@@ -249,14 +268,19 @@ def run_trip_scaling(n_trips=4, duration_s=40.0, workers=None,
                      testbed_seed=0):
     """The multi-trip scaling workload: serial vs process-pool sweep.
 
-    Runs *n_trips* independent pinned VanLAN CBR trips serially, then
-    through :func:`~repro.experiments.common.run_trips` on a pool, and
-    compares both wall time and outputs.  ``outputs_identical`` is the
-    determinism contract (it must hold on any machine, including a
-    single-core one, because per-trip randomness is keyed by the task
-    arguments alone); the parallel speedup is only meaningful when the
-    host actually has free cores, so ``available_workers`` is recorded
-    alongside.
+    Builds one shared prefilled propagation bank per trip in the
+    parent (``bank_build_s``), then runs *n_trips* independent pinned
+    VanLAN CBR trips three ways: serially with per-task banks (the
+    pre-sharing cost), serially with the shared banks, and through
+    :func:`~repro.experiments.common.run_trips` on a pool with the
+    shared banks inherited across the fork.  ``outputs_identical`` is
+    the parallel determinism contract and
+    ``shared_bank_identical`` the sharing contract (shared and
+    per-task banks are bit-identical under bucket-centre sampling);
+    both must hold on any machine.  The parallel speedup is only
+    meaningful when the host actually has free cores, so
+    ``available_workers`` is recorded alongside;
+    ``bank_share_task_speedup`` records what sharing saves per task.
 
     Returns:
         The scaling record for ``BENCH_perf.json``.
@@ -271,12 +295,34 @@ def run_trip_scaling(n_trips=4, duration_s=40.0, workers=None,
          "testbed_seed": int(testbed_seed)}
         for trip in range(int(n_trips))
     ]
+    # Per-task banks first (the registry must be empty for this leg).
+    install_shared_banks({})
     t0 = time.perf_counter()
-    serial = run_trips(vanlan_cbr_trip, tasks, workers=1)
-    serial_wall = time.perf_counter() - t0
+    fresh = run_trips(vanlan_cbr_trip, tasks, workers=1)
+    fresh_wall = time.perf_counter() - t0
+    # One shared prefilled bank per trip, built once in the parent.
     t0 = time.perf_counter()
-    parallel = run_trips(vanlan_cbr_trip, tasks, workers=workers)
-    parallel_wall = time.perf_counter() - t0
+    banks = build_shared_banks(testbed_seed, range(int(n_trips)))
+    bank_build_s = time.perf_counter() - t0
+    try:
+        t0 = time.perf_counter()
+        serial = run_trips(vanlan_cbr_trip, tasks, workers=1,
+                           initializer=install_shared_banks,
+                           initargs=(banks,))
+        serial_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = run_trips(vanlan_cbr_trip, tasks, workers=workers,
+                             initializer=install_shared_banks,
+                             initargs=(banks,))
+        parallel_wall = time.perf_counter() - t0
+    finally:
+        install_shared_banks({})
+    hits = sum(1 for record in serial if record.get("bank_shared"))
+
+    def _sans_flag(results):
+        return [{k: v for k, v in record.items() if k != "bank_shared"}
+                for record in results]
+
     available = available_workers()
     if available >= 4 and workers >= 4:
         gate = "enforced"
@@ -287,6 +333,7 @@ def run_trip_scaling(n_trips=4, duration_s=40.0, workers=None,
         # regression.
         gate = (f"skipped: available_workers: {available}, "
                 f"workers: {workers} (target needs >= 4 of each)")
+    n = max(len(tasks), 1)
     return {
         "workload": SCALING_WORKLOAD,
         "n_trips": int(n_trips),
@@ -299,6 +346,13 @@ def run_trip_scaling(n_trips=4, duration_s=40.0, workers=None,
         if parallel_wall > 0 else float("inf"),
         "parallel_gate": gate,
         "outputs_identical": serial == parallel,
+        "bank_build_s": round(bank_build_s, 4),
+        "bank_share_hit_rate": round(hits / n, 3),
+        "per_task_s_fresh_bank": round(fresh_wall / n, 4),
+        "per_task_s_shared_bank": round(serial_wall / n, 4),
+        "bank_share_task_speedup": round(fresh_wall / serial_wall, 2)
+        if serial_wall > 0 else float("inf"),
+        "shared_bank_identical": _sans_flag(serial) == _sans_flag(fresh),
         "git_sha": git_sha(),
     }
 

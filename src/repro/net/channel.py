@@ -294,12 +294,23 @@ class SteeredGilbertElliott(LossProcess):
         The per-packet probability is pinned until whichever comes
         first: the chain's next state flip, or — when the steering
         target is a :class:`LinkStateCache` — the end of the current
-        time-quantum bucket.  A generic callable target can change at
-        any instant, so its window degenerates to the query time (no
-        reuse); ``quantum<=0`` likewise buckets at exact query times
-        only, preserving the bitwise guarantee.  The body flattens
-        :meth:`loss_eps` inline: the kernel calls this once per stale
-        row, so the double dispatch would cost more than the math.
+        time-quantum bucket.  The bucket bound holds under both bank
+        sampling conventions: the cached probability is one value per
+        bucket whether it was sampled at the first query
+        (``sampling="first-query"``) or at the bucket centre
+        (``sampling="centre"``, possibly prefilled), so the window
+        never spans a bucket boundary where the target could move.  At
+        an *exact* bucket-edge query the bound may degenerate to the
+        query time itself (float division lands the key either side of
+        the edge); that costs one extra refresh, never a stale
+        threshold — asserted by the boundary tests in
+        ``tests/test_perf_kernel.py``.  A generic callable target can
+        change at any instant, so its window degenerates to the query
+        time (no reuse); ``quantum<=0`` likewise buckets at exact
+        query times only, preserving the bitwise guarantee.  The body
+        flattens :meth:`loss_eps` inline: the kernel calls this once
+        per stale row, so the double dispatch would cost more than the
+        math.
         """
         chain = self._chain
         if self._static_eps is not None:

@@ -70,6 +70,17 @@ Fast paths riding on top:
   heap event (the merged resolve), contended or not, which removes the
   wide-slot penalty of beacon batching.  ``defer_count`` stays 0 under
   the freeze model; ``csma="defer"`` keeps the PR 2 cascade bitwise.
+* **Slot-batch resolve** (``slot_batch=True``) — whole co-scheduled
+  broadcast batches (a beacon slot's emissions, handed over by the
+  :class:`~repro.core.node.BeaconSlotter`) claim consecutive airtimes
+  up front when the medium is idle and every emitter free: the batch
+  costs a *single* heap event and its loss outcomes resolve in one
+  stacked numpy pass over the frames' concatenated eps thresholds —
+  the (frames x receivers) batch sizes where the vectorized compare
+  decisively beats per-frame python dispatch.  Ineligible batches
+  fall back to per-frame sends bitwise; receivers observe an accepted
+  batch at its last frame's end (at most one slot late, the bound
+  beacon slotting already accepts on the emission side).
 """
 
 import math
@@ -100,6 +111,12 @@ class LinkTable:
             disable the reachability index (every frame then evaluates
             every registered link, as the pre-fast-path medium did).
     """
+
+    #: The propagation :class:`~repro.net.propagation.LinkBank` behind
+    #: this table's vehicle links, when a testbed built one (set by the
+    #: builders; ``None`` for hand-assembled tables).  Exposed so
+    #: benchmark harnesses can report prefill/build cost separately.
+    link_bank = None
 
     def __init__(self, factory=None, reach_refresh_s=0.25):
         self._links = {}
@@ -256,7 +273,8 @@ class _ResolveRows:
     """
 
     __slots__ = ("ids", "receive", "eps_fns", "window_fns", "procs",
-                 "eps", "valid_until", "min_valid", "n", "all_eps")
+                 "eps", "valid_until", "min_valid", "n", "all_eps",
+                 "finite_rows")
 
     def __init__(self, pairs, transmitter_id, nodes_by_id):
         ids, receive, eps_fns, window_fns, procs = [], [], [], [], []
@@ -290,6 +308,13 @@ class _ResolveRows:
         # (validity is t < bound).
         self.valid_until = [-math.inf] * self.n
         self.min_valid = -math.inf
+        # Row indices whose validity bound is finite (can still lapse).
+        # ``None`` until the first full refresh; an infinite bound
+        # means the probability never changes again, so later
+        # refreshes scan only the finite rows — on a BS transmitter
+        # that is one dynamic vehicle row instead of the whole
+        # static BS-BS neighborhood.
+        self.finite_rows = None
 
 
 class WirelessMedium:
@@ -322,13 +347,19 @@ class WirelessMedium:
         csma: ``"freeze"`` keeps per-contender remaining backoff across
             busy periods (no defer events); ``"defer"`` redraws and
             reschedules on every busy period (the PR 2 cascade).
+        slot_batch: accept whole co-scheduled broadcast batches through
+            :meth:`send_slot_batch` (one heap event and one stacked
+            numpy outcome pass per batch); ``False`` makes
+            :meth:`send_slot_batch` fall back to per-frame sends,
+            preserving the single-frame code paths bitwise.
     """
 
     def __init__(self, sim, links, rng, bitrate_bps=1_000_000.0,
                  plcp_overhead_s=192e-6, difs_s=50e-6, slot_time_s=20e-6,
                  backoff_slots=31, mac_retry_limit=4, max_cw_slots=1023,
                  outcome_rng=None, outcome_batch=256,
-                 merge_uncontended=True, kernel="array", csma="freeze"):
+                 merge_uncontended=True, kernel="array", csma="freeze",
+                 slot_batch=True):
         self.sim = sim
         self.links = links
         self.rng = rng
@@ -397,6 +428,15 @@ class WirelessMedium:
         self.defer_count = 0
         #: Backoff freezes performed by the freeze model.
         self.freeze_count = 0
+
+        # Slot-batch resolve: whole co-scheduled broadcast batches
+        # (typically one beacon slot's emissions) claim consecutive
+        # airtimes up front and resolve through one stacked numpy pass.
+        self.slot_batch = bool(slot_batch)
+        #: Batches accepted by :meth:`send_slot_batch` (not fallbacks).
+        self.slot_batch_count = 0
+        #: Frames carried by accepted batches.
+        self.slot_batch_frames = 0
 
         # Counters: transmissions on the vehicle-BS channel, per node
         # and frame kind, for the Figure 12 efficiency accounting.
@@ -469,6 +509,209 @@ class WirelessMedium:
         else:
             self._queues[transmitter_id].append(entry)
         self._schedule_attempt(transmitter_id)
+
+    # ------------------------------------------------------------------
+    # Slot-batch transmission path
+    # ------------------------------------------------------------------
+
+    def send_slot_batch(self, entries):
+        """Broadcast a slot's co-scheduled frames as one medium batch.
+
+        *entries* is a sequence of ``(transmitter_id, frame)`` pairs —
+        typically every beacon a :class:`~repro.core.node.BeaconSlotter`
+        slot emits — in emission order.  When the batch path is
+        eligible (see :meth:`_slot_batch_ready`) the frames claim
+        consecutive DIFS+backoff-separated airtimes up front, cost a
+        **single** heap event, and resolve through one stacked numpy
+        outcome pass in :meth:`_slot_batch_resolve`.  Otherwise every
+        entry falls back to a plain :meth:`send`, which is
+        bitwise-identical to never having offered the batch.
+
+        Fidelity trade-offs of the batch path (documented in
+        PERFORMANCE.md): frames air in emission order rather than
+        re-contending per frame (same-window contenders could never
+        collide, as with merged transmissions), and receivers observe
+        every frame of the batch at the last frame's end time — at
+        most one slot late, the same bound beacon slotting already
+        accepts on the emission side.
+        """
+        if len(entries) < 2 or not self._slot_batch_ready(entries):
+            for transmitter_id, frame in entries:
+                self.send(transmitter_id, frame)
+            return
+        start = self.sim.now
+        batch = []
+        for transmitter_id, frame in entries:
+            backoff = self._draw_backoff(self._cw[transmitter_id]) \
+                * self.slot_time
+            air_start = start + self.difs + backoff
+            air_end = air_start + self.airtime(frame.size_bytes)
+            self._in_flight[transmitter_id] += 1
+            batch.append((transmitter_id, frame, air_start, air_end))
+            start = air_end
+        self._busy_until = start
+        self.slot_batch_count += 1
+        self.slot_batch_frames += len(batch)
+        self.sim.schedule_fire_at(start, self._slot_batch_resolve, batch)
+
+    def _slot_batch_ready(self, entries):
+        """Whether a batch can claim the channel outright.
+
+        The batch path needs the freeze CSMA model with merged
+        transmissions and the batched outcome stream, an idle
+        uncontended medium, the observer-free indexed fast path, and
+        every transmitter distinct and completely idle (empty queue,
+        nothing in flight, not contending) — otherwise per-node FIFO
+        order would be violated.  The resolve kernel is *not* a
+        condition: both kernels resolve batches over the same stream,
+        so ``kernel`` never changes outcomes (the PR 3 bitwise
+        guarantee extends to batched slots).
+        """
+        if not (self.slot_batch and self.csma == "freeze"
+                and self.merge_uncontended
+                and self._outcome_block > 0):
+            return False
+        links = self.links
+        if links.reach_refresh_s <= 0.0 or self.observers \
+                or links._factory is not None:
+            return False
+        if self.sim.now < self._busy_until or self._contenders \
+                or self._armed is not None or self._attempts_outstanding:
+            return False
+        seen = set()
+        nodes = self._nodes
+        queues = self._queues
+        in_flight = self._in_flight
+        pending = self._attempt_pending
+        for transmitter_id, frame in entries:
+            if transmitter_id not in nodes or transmitter_id in seen:
+                return False
+            seen.add(transmitter_id)
+            if queues[transmitter_id] or in_flight[transmitter_id] \
+                    or pending[transmitter_id]:
+                return False
+        return True
+
+    def _slot_batch_resolve(self, batch):
+        """Single-event tail of a slot batch: stacked outcome resolve.
+
+        Transmit accounting runs per frame; the loss outcomes of the
+        whole batch are decided by one uniform slice compared against
+        the frames' concatenated eps thresholds — the batch sizes
+        (frames x receivers) are where the vectorized compare
+        decisively beats per-frame python dispatch.  The uniform
+        stream is consumed in frame order exactly as per-frame
+        resolves would consume it, so batching adds no divergence of
+        its own.
+        """
+        end = self.sim.now
+        self._air_end = end
+        tx_count = self.tx_count
+        tx_by_kind = self._tx_by_kind
+        tx_by_node = self._tx_by_node
+        for transmitter_id, frame, air_start, air_end in batch:
+            self._in_flight[transmitter_id] -= 1
+            kind = frame.kind_value
+            tx_count[(transmitter_id, kind)] += 1
+            tx_by_kind[kind] += 1
+            tx_by_node[transmitter_id] += 1
+        self._tx_total += len(batch)
+        delivered_count = self.delivered_count
+        if self.kernel == "scalar":
+            # Scalar-kernel batches resolve frame by frame through the
+            # PR 2 row loop, consuming the shared outcome buffer in
+            # the same per-frame order as the array path's stacked
+            # slice — kernel choice never changes outcomes.
+            buf = self._outcome_buf
+            bi = self._outcome_i
+            for transmitter_id, frame, air_start, air_end in batch:
+                kind = frame.kind_value
+                for receiver_id, node, eps_fn, process in \
+                        self._resolve_entries(transmitter_id, air_start):
+                    if eps_fn is not None:
+                        if bi >= len(buf):
+                            buf = self._outcome_buf = self._outcome_rng \
+                                .random(self._outcome_block).tolist()
+                            bi = 0
+                        u = buf[bi]
+                        bi += 1
+                        if u < eps_fn(air_start):
+                            continue
+                    elif process.is_lost(air_start):
+                        continue
+                    delivered_count[(receiver_id, kind)] += 1
+                    node.on_receive(frame, transmitter_id)
+            self._outcome_i = bi
+            self._slot_batch_finish(batch)
+            return
+        metas = []
+        total = 0
+        all_vector = True
+        for transmitter_id, frame, air_start, air_end in batch:
+            rows = self._resolve_rows(transmitter_id, air_start)
+            if rows.all_eps:
+                if rows.n and air_start >= rows.min_valid:
+                    self._refresh_row_thresholds(rows, air_start)
+            else:
+                all_vector = False
+            metas.append((transmitter_id, frame, rows, air_start))
+            total += rows.n
+        if all_vector and total:
+            u = self._draw_outcome_vector(total)
+            eps_stack = np.concatenate(
+                [meta[2].eps for meta in metas if meta[2].n]
+            )
+            hits = (u >= eps_stack).tolist()
+            offset = 0
+            for transmitter_id, frame, rows, _ in metas:
+                n = rows.n
+                if not n:
+                    continue
+                ids = rows.ids
+                receive = rows.receive
+                kind = frame.kind_value
+                for i in range(n):
+                    if hits[offset + i]:
+                        delivered_count[(ids[i], kind)] += 1
+                        receive[i](frame, transmitter_id)
+                offset += n
+        elif not all_vector:
+            # A duck-typed eps-less process is in play: resolve frame
+            # by frame off the shared outcome buffer, preserving the
+            # per-frame draw order.
+            for transmitter_id, frame, rows, air_start in metas:
+                self._resolve_rows_outcomes(transmitter_id, frame,
+                                            air_start, rows)
+        self._slot_batch_finish(batch)
+
+    def _slot_batch_finish(self, batch):
+        """Completion callbacks and channel release after a batch."""
+        for transmitter_id, frame, air_start, air_end in batch:
+            callback = self._complete_cb.get(transmitter_id)
+            if callback is not None:
+                callback(frame)
+        if self._contenders:
+            self._release_channel()
+        for transmitter_id, frame, air_start, air_end in batch:
+            self._freeze_contend(transmitter_id)
+
+    def _resolve_rows_outcomes(self, transmitter_id, frame, start, rows):
+        """Per-frame outcome pass over mixed (eps and eps-less) rows."""
+        delivered_count = self.delivered_count
+        kind = frame.kind_value
+        ids = rows.ids
+        receive = rows.receive
+        eps_fns = rows.eps_fns
+        procs = rows.procs
+        for i in range(rows.n):
+            eps_fn = eps_fns[i]
+            if eps_fn is not None:
+                if self._draw_outcome_vector(1)[0] < eps_fn(start):
+                    continue
+            elif procs[i].is_lost(start):
+                continue
+            delivered_count[(ids[i], kind)] += 1
+            receive[i](frame, transmitter_id)
 
     def queue_length(self, transmitter_id):
         """Frames waiting, in backoff, or in the air at the given node.
@@ -842,6 +1085,46 @@ class WirelessMedium:
                                            pairs)
         return rows
 
+    def _refresh_row_thresholds(self, rows, start):
+        """Re-evaluate eps for rows whose validity window lapsed.
+
+        Rows inside their ``loss_eps_window`` bound keep their stored
+        threshold; lapsed rows re-query the process at *start* (one
+        call per stale row — bitwise-safe because a skipped no-flip
+        state advance consumes no randomness and a pending flip caps
+        the window).
+        """
+        valid_until = rows.valid_until
+        eps_fns = rows.eps_fns
+        window_fns = rows.window_fns
+        eps = rows.eps
+        finite = rows.finite_rows
+        indices = range(rows.n) if finite is None else finite
+        rebuilt = [] if finite is None else None
+        min_valid = math.inf
+        for i in indices:
+            bound = valid_until[i]
+            if bound <= start:
+                window_fn = window_fns[i]
+                if window_fn is not None:
+                    value, bound = window_fn(start)
+                else:
+                    # Valid at exactly this instant only.
+                    value, bound = eps_fns[i](start), start
+                eps[i] = value
+                valid_until[i] = bound
+            if bound < min_valid:
+                min_valid = bound
+            if rebuilt is not None and bound != math.inf:
+                rebuilt.append(i)
+        if rebuilt is not None:
+            rows.finite_rows = rebuilt
+        elif min_valid == math.inf:
+            # Every scanned row crossed into the never-changes regime
+            # (e.g. a trace ran out): nothing can lapse again.
+            rows.finite_rows = []
+        rows.min_valid = min_valid
+
     def _draw_outcome_vector(self, n):
         """*n* uniforms off the batched outcome stream, as a numpy view.
 
@@ -888,24 +1171,7 @@ class WirelessMedium:
                 # At least one row's validity window lapsed: refresh
                 # those thresholds (the only python-per-row work the
                 # kernel ever does on the loss side).
-                valid_until = rows.valid_until
-                eps_fns = rows.eps_fns
-                window_fns = rows.window_fns
-                min_valid = math.inf
-                for i in range(n):
-                    bound = valid_until[i]
-                    if bound <= start:
-                        window_fn = window_fns[i]
-                        if window_fn is not None:
-                            value, bound = window_fn(start)
-                        else:
-                            # Valid at exactly this instant only.
-                            value, bound = eps_fns[i](start), start
-                        eps[i] = value
-                        valid_until[i] = bound
-                    if bound < min_valid:
-                        min_valid = bound
-                rows.min_valid = min_valid
+                self._refresh_row_thresholds(rows, start)
             u = self._draw_outcome_vector(n)
             ids = rows.ids
             receive = rows.receive

@@ -196,15 +196,20 @@ class VanLanTestbed:
     # Trace generation (Section 3.1 methodology)
     # ------------------------------------------------------------------
 
-    def generate_probe_trace(self, trip, n_loops=1, rssi_noise_db=1.0):
+    def generate_probe_trace(self, trip, n_loops=1, rssi_noise_db=1.0,
+                             max_seconds=None):
         """Generate the broadcast-probe trace for one trip.
 
         Every node broadcasts a 500-byte probe every 100 ms; the trace
         records which probes were decoded in each direction and the
         RSSI of decoded BS probes (used as beacons by the policies).
+        ``max_seconds`` truncates the trip (smoke tests and quick
+        demos); the generated prefix is identical to the full trace's.
         """
         motion = self.vehicle_motion(n_loops)
         duration = motion.route.duration
+        if max_seconds is not None:
+            duration = min(duration, float(max_seconds))
         slot_dt = 1.0 / self.probes_per_second
         n_slots = int(duration / slot_dt)
         bs_ids = self.deployment.bs_ids
@@ -272,9 +277,50 @@ class VanLanTestbed:
     # Live link table (deployment-style protocol runs)
     # ------------------------------------------------------------------
 
+    def build_link_bank(self, trip, vehicle_position, bs_ids=None,
+                        cache_quantum_s=LinkStateCache.DEFAULT_QUANTUM_S,
+                        sampling="centre", prefill_s=None):
+        """The banked vehicle-BS propagation stack of one trip.
+
+        The bank is a pure function of ``(testbed seed, trip,
+        cache_quantum_s, sampling)``: under ``sampling="centre"`` every
+        bucket value is sampled at its bucket-centre instant, so a bank
+        prefilled to the trip duration can be built once and shared
+        read-only across every protocol seed / policy variant that
+        replays the same trip (see
+        :func:`repro.experiments.common.build_shared_banks`).
+
+        Args:
+            trip: trip index (fixes shadowing/gray realizations).
+            vehicle_position: callable ``t -> (x, y)``.
+            bs_ids: participating BSes (default: the full deployment).
+            cache_quantum_s: member-cache time quantum (must be > 0).
+            sampling: bucket sampling convention (see
+                :class:`~repro.net.propagation.LinkBank`).
+            prefill_s: when set, prefill the bank's buckets up to this
+                simulated horizon at build time (centre sampling only).
+        """
+        if not cache_quantum_s or cache_quantum_s <= 0.0:
+            raise ValueError("a LinkBank needs a positive cache quantum")
+        bs_ids = list(bs_ids if bs_ids is not None
+                      else self.deployment.bs_ids)
+        links = [self.link_model(trip, bs, vehicle_position)
+                 for bs in bs_ids]
+        bank = LinkBank(links, quantum_s=cache_quantum_s,
+                        sampling=sampling)
+        # Provenance, so adopting the bank elsewhere can verify it
+        # really is the (testbed, trip, BS set) it claims to be.
+        bank.testbed_seed = self.seed
+        bank.trip = int(trip)
+        bank.bs_ids = tuple(bs_ids)
+        if prefill_s is not None:
+            bank.prefill(prefill_s)
+        return bank
+
     def build_link_table(self, trip, vehicle_position, bs_ids=None,
                          vehicle_id=VEHICLE_ID,
-                         cache_quantum_s=LinkStateCache.DEFAULT_QUANTUM_S):
+                         cache_quantum_s=LinkStateCache.DEFAULT_QUANTUM_S,
+                         sampling="centre", prefill_s=None, bank=None):
         """Link table for a packet-level protocol run of one trip.
 
         Vehicle-BS links use the full layered radio model with
@@ -293,19 +339,55 @@ class VanLanTestbed:
                 :class:`~repro.net.propagation.LinkBank`, so the N
                 per-link misses of a quantum collapse into a single
                 vectorized pass.
+            sampling: bank bucket sampling convention —
+                ``"centre"`` (pure-function buckets, prefillable and
+                shareable) or ``"first-query"`` (the historical
+                convention, kept bitwise).
+            prefill_s: optional prefill horizon (centre sampling only).
+            bank: a prebuilt (typically shared, prefilled)
+                :class:`~repro.net.propagation.LinkBank` from
+                :meth:`build_link_bank` for this same ``(trip,
+                bs_ids)``; the vehicle links then wrap the shared bank
+                instead of rebuilding the propagation stack.
+
+        The built (or adopted) bank is exposed as ``table.link_bank``
+        (``None`` when no bank is in play) so harnesses can report
+        prefill cost and sharing separately from run cost.
         """
         bs_ids = list(bs_ids if bs_ids is not None else self.deployment.bs_ids)
         trip_rngs = self.rngs.spawn("trip", trip)
         table = LinkTable()
-        links = [self.link_model(trip, bs, vehicle_position)
-                 for bs in bs_ids]
-        if cache_quantum_s is None:
-            caches = links
+        if bank is not None:
+            provenance = (getattr(bank, "testbed_seed", self.seed),
+                          getattr(bank, "trip", trip),
+                          tuple(getattr(bank, "bs_ids", bs_ids)))
+            if provenance != (self.seed, int(trip), tuple(bs_ids)):
+                raise ValueError(
+                    f"shared bank was built for (testbed_seed, trip, "
+                    f"bs_ids) = {provenance}, not "
+                    f"({self.seed}, {int(trip)}, {tuple(bs_ids)})"
+                )
+            if len(bank.links) != len(bs_ids):
+                raise ValueError(
+                    "shared bank covers a different basestation set"
+                )
+            caches = bank.wrap()
+        elif cache_quantum_s is None:
+            caches = [self.link_model(trip, bs, vehicle_position)
+                      for bs in bs_ids]
         elif cache_quantum_s > 0.0:
-            caches = LinkBank(links, quantum_s=cache_quantum_s).wrap()
+            bank = self.build_link_bank(
+                trip, vehicle_position, bs_ids=bs_ids,
+                cache_quantum_s=cache_quantum_s, sampling=sampling,
+                prefill_s=prefill_s,
+            )
+            caches = bank.wrap()
         else:
-            caches = [LinkStateCache(link, quantum_s=cache_quantum_s)
-                      for link in links]
+            caches = [LinkStateCache(self.link_model(trip, bs,
+                                                     vehicle_position),
+                                     quantum_s=cache_quantum_s)
+                      for bs in bs_ids]
+        table.link_bank = bank
         for bs, link in zip(bs_ids, caches):
             table.set_link(vehicle_id, bs, SteeredGilbertElliott(
                 link.loss_prob, rng=trip_rngs.stream("live-up", bs)))

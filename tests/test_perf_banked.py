@@ -42,12 +42,20 @@ from repro.testbeds.vanlan import VEHICLE_ID, VanLanTestbed
 # ----------------------------------------------------------------------
 
 def _banked_and_scalar(seed, quantum_s=0.02):
-    """Identically seeded banked and scalar link stacks."""
+    """Identically seeded banked and scalar link stacks.
+
+    The bank uses ``sampling="first-query"`` — the convention these
+    properties were written for, where bucket sample points coincide
+    with the scalar caches' query times.  (The bucket-centre
+    convention samples at bucket centres instead; its equivalence
+    properties live in ``tests/test_perf_prefill.py``.)
+    """
     a = VanLanTestbed(seed=seed)
     b = VanLanTestbed(seed=seed)
     motion_a, motion_b = a.vehicle_motion(), b.vehicle_motion()
     links_a = [a.link_model(0, bs, motion_a) for bs in a.deployment.bs_ids]
-    banked = LinkBank(links_a, quantum_s=quantum_s).wrap()
+    banked = LinkBank(links_a, quantum_s=quantum_s,
+                      sampling="first-query").wrap()
     scalar = [LinkStateCache(b.link_model(0, bs, motion_b),
                              quantum_s=quantum_s)
               for bs in b.deployment.bs_ids]

@@ -3,22 +3,31 @@
 
 Usage::
 
-    python tools/ci_check.py [--skip-bench] [--skip-slow]
+    python tools/ci_check.py [--fast] [--skip-bench] [--skip-slow]
 
 Runs, in order:
 
 1. the tier-1 test suite (``pytest -x -q`` — fast tests only; the
    ``slow`` and ``bench`` markers are excluded by ``pytest.ini``),
 2. the slow correctness tests (``pytest -m slow``): the banked-vs-
-   scalar and batching equivalence properties, plus the PR 3
-   array-kernel / backoff-freezing CSMA equivalence suite
+   scalar and batching equivalence properties, the PR 3 array-kernel /
+   backoff-freezing CSMA equivalence suite
    (``tests/test_perf_kernel.py`` — full-trip array==scalar bitwise
-   equality and freeze-vs-defer protocol equivalence).  The stage
-   fails if the slow marker collects nothing, so a marker typo cannot
-   silently skip the suite,
-3. the perf gate (``python -m repro bench`` via ``tools/perf_smoke.py``),
-   which rewrites ``BENCH_perf.json`` and fails on a >20% tracked-rate
-   regression against the committed numbers.
+   equality and freeze-vs-defer protocol equivalence), and the PR 4
+   sampling-convention suite (``tests/test_perf_prefill.py`` — the
+   first-query mode's full-trip bitwise anchor and the bucket-centre /
+   slot-batch distributional equivalences).  The stage fails if the
+   slow marker collects nothing, so a marker typo cannot silently skip
+   the suite,
+3. the perf gate (``python -m repro bench --repeats 3`` via
+   ``tools/perf_smoke.py``), which rewrites ``BENCH_perf.json`` and
+   fails on a >20% tracked-rate regression against the committed
+   numbers (best-of-3 so container wall-clock noise does not eat the
+   headroom).
+
+``--fast`` is the inner-loop variant: tier-1 plus the perf gate,
+skipping the slow equivalence suite (equivalent to ``--skip-slow``;
+run the full check before merging).
 
 Exits non-zero as soon as a stage fails, and prints a one-line summary
 per stage either way.
@@ -52,6 +61,9 @@ def _run(label, argv, env_src=True):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="inner-loop mode: tier-1 + perf gate only "
+                             "(skips the slow equivalence suite)")
     parser.add_argument("--skip-slow", action="store_true",
                         help="skip the slow equivalence tests")
     parser.add_argument("--skip-bench", action="store_true",
@@ -62,7 +74,7 @@ def main(argv=None):
         ("tier-1 tests",
          [sys.executable, "-m", "pytest", "-x", "-q"]),
     ]
-    if not args.skip_slow:
+    if not (args.skip_slow or args.fast):
         stages.append((
             "slow equivalence tests",
             [sys.executable, "-m", "pytest", "-q", "-m", "slow",
@@ -70,8 +82,8 @@ def main(argv=None):
         ))
     if not args.skip_bench:
         stages.append((
-            "perf gate (python -m repro bench)",
-            [sys.executable, "-m", "repro", "bench"],
+            "perf gate (python -m repro bench --repeats 3)",
+            [sys.executable, "-m", "repro", "bench", "--repeats", "3"],
         ))
 
     for label, cmd in stages:

@@ -5,25 +5,39 @@ Usage::
 
     PYTHONPATH=src python tools/perf_smoke.py [--repeats N]
         [--tolerance 0.2] [--no-write] [--no-scaling]
-        [--profile [--profile-top N] [--profile-sort KEY]]
+        [--profile [--profile-top N] [--profile-sort KEY]
+         [--profile-out DIR]]
 
 Runs the pinned perf workloads plus the multi-trip scaling sweep (see
 ``repro.experiments.perf``), prints the per-workload deltas against the
 committed ``BENCH_perf.json``, rewrites the file with the fresh
 numbers, and exits non-zero when any workload regressed by more than
-``--tolerance`` (default 20%) on a tracked rate, or when the parallel
-sweep's outputs diverge from the serial sweep.  Intended as the CI perf
-gate: wall-clock noise on shared runners is absorbed by the tolerance
-and the best-of-``--repeats`` policy.
+``--tolerance`` (default 20%) on a tracked rate, when the parallel
+sweep's outputs diverge from the serial sweep, or when the shared
+propagation banks stop reproducing per-task banks bit for bit.
+Intended as the CI perf gate: wall-clock noise on shared runners is
+absorbed by the tolerance and the best-of-``--repeats`` policy —
+``--repeats 1`` (the default) is fine for a quick look, but **gating
+runs should use ``--repeats 3``** (what ``tools/ci_check.py`` passes)
+so the ±10% container noise does not eat the regression headroom.
+Simulation build cost (testbed, link table, bank prefill) is reported
+as its own ``build_s``/``prefill_s`` fields and never charged to the
+timed region.
 
 The scaling entry records whether the parallel-speedup target was
 enforced; on hosts without four free cores the recorded
 ``parallel_gate`` spells out the skip reason (e.g. ``available_workers:
 1``) so a sub-1.0 speedup reads as pool overhead, not a regression.
+It also records the shared-bank economics: ``bank_build_s`` (one
+prefilled bank per trip, built once), ``bank_share_hit_rate``, and
+``bank_share_task_speedup`` (per-task wall with shared vs per-task
+banks).
 
 ``--profile`` skips gating and instead runs each pinned workload under
 cProfile, printing the top-N functions per workload — the residual
-profile future perf PRs cite.
+profile future perf PRs cite.  ``--profile-out DIR`` additionally
+writes one ``<workload>.pstats`` file per workload into *DIR* so
+profiles can be diffed across PRs with :mod:`pstats` tooling.
 
 A committed file whose workloads do not match the current pinned set
 (renamed or newly added workloads) is reported clearly and does not
@@ -158,6 +172,12 @@ def print_report(results, committed, scaling=None):
         extra = f"  ({speedup}x vs seed)" if speedup else ""
         if deltas:
             extra += "  [" + ", ".join(deltas) + "]"
+        build = record.get("build_s")
+        if build is not None:
+            prefill = record.get("prefill_s", 0.0)
+            extra += (f"  [build {build:.3f} s"
+                      + (f", prefill {prefill:.3f} s" if prefill else "")
+                      + "]")
         print(f"{record['workload']:<20s} {record['events']:>7d} events  "
               f"{record['wall_s']:>8.3f} s  "
               f"{record['events_per_s']:>9.0f} ev/s  "
@@ -170,6 +190,16 @@ def print_report(results, committed, scaling=None):
               f"{scaling['parallel_wall_s']:.3f} s on "
               f"{scaling['workers']} workers "
               f"({scaling['parallel_speedup']}x, outputs {same})")
+        if "bank_build_s" in scaling:
+            shared = "bit-identical" \
+                if scaling.get("shared_bank_identical") else "DIVERGED"
+            print(f"{'':<20s} shared banks built once in "
+                  f"{scaling['bank_build_s']:.3f} s  hit rate "
+                  f"{scaling['bank_share_hit_rate']:.0%}  per-task "
+                  f"{scaling['per_task_s_fresh_bank']:.3f} s -> "
+                  f"{scaling['per_task_s_shared_bank']:.3f} s "
+                  f"({scaling['bank_share_task_speedup']}x, "
+                  f"outputs {shared})")
         gate = scaling.get("parallel_gate")
         if gate and gate != "enforced":
             print(f"{'':<20s} parallel-speedup target {gate}")
@@ -177,8 +207,11 @@ def print_report(results, committed, scaling=None):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--repeats", type=int, default=2,
-                        help="measurements per workload; best is kept")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="measurements per workload; best is kept "
+                             "(use 3 for gating runs so container "
+                             "wall-clock noise does not eat the "
+                             "regression headroom)")
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional rate regression")
     parser.add_argument("--no-write", action="store_true",
@@ -194,16 +227,31 @@ def main(argv=None):
     parser.add_argument("--profile-sort", default="cumulative",
                         help="pstats sort key for --profile "
                              "(e.g. cumulative, tottime)")
+    parser.add_argument("--profile-out", metavar="DIR", default=None,
+                        help="with --profile, also write one "
+                             "<workload>.pstats file per workload "
+                             "into DIR (created if missing) so "
+                             "profiles can be diffed across PRs")
     args = parser.parse_args(argv)
 
     if args.profile:
+        out_dir = None
+        if args.profile_out is not None:
+            out_dir = pathlib.Path(args.profile_out)
+            out_dir.mkdir(parents=True, exist_ok=True)
         for name in WORKLOADS:
+            dump = str(out_dir / f"{name}.pstats") if out_dir else None
             header, report = profile_workload(
                 name, top=args.profile_top, sort=args.profile_sort,
+                dump_path=dump,
             )
             print(f"== {header}")
             print(report)
+            if dump:
+                print(f"profile stats written to {dump}")
         return 0
+    if args.profile_out is not None:
+        parser.error("--profile-out requires --profile")
 
     committed = {}
     if BENCH_PATH.exists():
@@ -225,6 +273,10 @@ def main(argv=None):
     if scaling is not None and not scaling["outputs_identical"]:
         failures.append("parallel multi-trip sweep outputs diverged "
                         "from the serial sweep")
+    if scaling is not None and not scaling.get("shared_bank_identical",
+                                               True):
+        failures.append("shared propagation banks diverged from "
+                        "per-task banks")
     if failures:
         # Keep the committed baseline intact so re-runs still fail
         # against the good numbers instead of a ratcheted-down file.
