@@ -80,6 +80,11 @@ def test_perf_engine(benchmark, save_results):
 
     by_name = {r["workload"]: r for r in results}
     vanlan = by_name["vanlan_cbr_120s"]
+    # The pinned workloads run the stock config, so they exercise the
+    # array estimator bank and report its fold cost (PR 5).
+    for record in results:
+        assert record["estimator"] == "array"
+        assert 0.0 <= record["estimator_fold_s"] < record["wall_s"]
     # The tentpole acceptance bar: the sim-rate speedup targets on
     # both pinned single-process workloads against the seed baseline.
     assert vanlan["speedup_vs_baseline"] >= TARGET_SPEEDUP, (

@@ -29,7 +29,7 @@ Package layout:
 """
 
 from repro.core.perfect import perfect_relay_efficiency
-from repro.core.probabilities import ReceptionEstimator
+from repro.core.probabilities import EstimatorBank, ReceptionEstimator
 from repro.core.protocol import ViFiConfig, ViFiSimulation
 from repro.core.relaying import (
     ExpectedDeliveryStrategy,
@@ -44,6 +44,7 @@ from repro.core.stats import ViFiStats
 
 __all__ = [
     "AdaptiveRetxTimer",
+    "EstimatorBank",
     "ExpectedDeliveryStrategy",
     "IgnoreDestConnectivityStrategy",
     "IgnoreOthersStrategy",

@@ -481,13 +481,30 @@ class _NodeBase:
         when one is configured (one heap event per occupied slot
         instead of one per node per beacon); otherwise each node runs
         its own legacy timer.
+
+        With an :class:`~repro.core.probabilities.EstimatorBank`
+        configured (``estimator="array"``, the default) the node has no
+        per-second timer at all: it registers with the bank, whose
+        single period-aligned event folds every estimator and drives
+        every ``on_second`` hook — one heap event per second instead of
+        one per node, with the first fold window exactly one second
+        long.  The legacy dict path below keeps its historical
+        ``1.0 + phase`` first tick verbatim (digest-anchored), even
+        though that first fold accumulates ``1 + phase`` seconds of
+        beacons yet normalizes by one second's budget — the first-tick
+        bias the bank fixes.
         """
         slotter = getattr(self.ctx, "beacon_slotter", None)
         if slotter is not None:
             slotter.add(self, self.ctx.sim.now + self._phase)
         else:
             self.ctx.sim.schedule_fire(self._phase, self._beacon_tick)
-        self.ctx.sim.schedule_fire(1.0 + self._phase, self._second_tick)
+        bank = getattr(self.ctx, "estimator_bank", None)
+        if bank is not None:
+            bank.register(self)
+        else:
+            self.ctx.sim.schedule_fire(1.0 + self._phase,
+                                       self._second_tick)
 
     # -- timers ----------------------------------------------------------
 

@@ -38,13 +38,38 @@ that, two caches amortize the per-beacon and per-relay-decision costs:
   strategy loops — cached values are bit-for-bit what the uncached
   computation would produce, with validity bounded by the estimator's
   version counter and the earliest staleness expiry consulted.
+
+**Estimator modes.**  Two implementations share one interface:
+
+* :class:`ReceptionEstimator` (``estimator="dict"``) — the historical
+  per-node dict estimator, kept verbatim so legacy-knob runs stay
+  digest-anchored (see ``tests/test_estimator_bank.py``).  It carries
+  two known quirks preserved for bitwise lineage: the owning node
+  schedules its first fold at ``1.0 + phase`` yet the fold normalizes
+  by one second's beacon budget (early incoming estimates bias high,
+  clipped at 1.0), and per-peer dissemination state
+  (``_last_heard`` / ``_reports`` / ``_report_epoch`` / ``_outgoing``)
+  is never pruned, so it grows with every peer ever heard.
+* :class:`EstimatorBank` + its per-node views (``estimator="array"``,
+  the default) — one simulation-wide struct-of-arrays estimator:
+  node ids map to integer rows, per-second heard counts live in one
+  ``(N, N)`` array, and a **single** per-second simulator event folds
+  every node's exponential averages in one vectorized pass (replacing
+  N per-node ``_second_tick`` heap events).  The bank also fixes both
+  quirks above: its fold event is period-aligned with its own window
+  (the first fold covers exactly one second), and a peer silent past
+  the staleness horizon is dropped from every per-node table, so
+  per-peer state stays bounded by the live-peer count.
 """
 
 import math
+import time
+
+import numpy as np
 
 from repro.core.relaying import RelayTable
 
-__all__ = ["ReceptionEstimator"]
+__all__ = ["EstimatorBank", "ReceptionEstimator"]
 
 
 class ReceptionEstimator:
@@ -363,6 +388,554 @@ class ReceptionEstimator:
             # from the timestamps.  (Expiry is a lower bound — an entry
             # refreshed since may extend it — so rebuilds can only run
             # early, never late: the live map never serves stale rows.)
+            stale_s = self.stale_s
+            expiry = math.inf
+            learned = {}
+            for peer, (prob, ts) in self._outgoing.items():
+                if now - ts <= stale_s:
+                    learned[peer] = prob
+                    expires = ts + stale_s
+                    if expires < expiry:
+                        expiry = expires
+            self._learned_live = learned
+            self._learned_expiry = expiry
+        self._learned_shared = True
+        return incoming, self._learned_live
+
+
+class EstimatorBank:
+    """Simulation-wide struct-of-arrays reception estimator.
+
+    One bank serves every node: node ids map to integer rows through
+    :attr:`index`, the per-second heard counts live in one ``(N, N)``
+    array, and the exponential averages live in :attr:`incoming`
+    (``incoming[i, j]`` is node *i*'s first-hand estimate of
+    ``p(j -> i)``).  The fold — one :meth:`tick_second` — replaces the
+    N per-node ``_second_tick`` heap events of the dict mode with a
+    **single** per-second simulator event: every view's pending beacon
+    batch is flushed, the heard counts are scattered with one
+    ``bincount`` per node, and the averages fold in one vectorized
+    pass whose arithmetic (``alpha * ratio + (1 - alpha) * previous``
+    over ``min(count / beacons_per_second, 1.0)``) is term-for-term
+    the dict fold, so a view and a dict estimator fed the same beacons
+    and ticked at the same instants agree bit for bit.
+
+    Differences from the dict mode, by design (both are the bugfixes
+    this bank ships; full-trip protocol runs are therefore a
+    different, distributionally equivalent realization):
+
+    * **Period-aligned first fold.**  The bank arms its own event one
+      second after the first node registers, so the first fold window
+      is exactly one second — the dict path folds at ``1.0 + phase``
+      but still normalizes by one second's beacon budget, biasing
+      early estimates high.
+    * **Bounded peer state.**  A peer silent past the staleness
+      horizon can no longer affect any query (``probability`` rejects
+      its reports, ``beacon_reports`` rebuilds skip it), so each fold
+      drops its reports/outgoing entries; per-node dissemination
+      state stays bounded by the live-peer count instead of growing
+      with every peer ever heard.  Consequently recency queries
+      (:meth:`BankedReceptionEstimator.heard_recently`) beyond
+      ``stale_s`` answer ``False``; the protocol only asks within
+      ``aux_recent_s`` (2 s against a 5 s horizon).
+
+    The node universe is closed at construction: every beacon sender
+    must be one of *node_ids* (the protocol registers the vehicle and
+    all basestations up front).
+
+    Args:
+        node_ids: all participating node ids, in row order.
+        beacons_per_second / alpha / stale_s / forget_below: as for
+            :class:`ReceptionEstimator`.
+        sim: optional simulator; when given, the bank arms its single
+            per-second event on the first :meth:`register` call.
+            Standalone (unit-test) banks call :meth:`tick_second`
+            directly.
+    """
+
+    def __init__(self, node_ids, beacons_per_second=10, alpha=0.5,
+                 stale_s=5.0, forget_below=0.01, sim=None):
+        self.ids = tuple(node_ids)
+        self.index = {nid: i for i, nid in enumerate(self.ids)}
+        if len(self.index) != len(self.ids):
+            raise ValueError("duplicate node ids in estimator bank")
+        n = len(self.ids)
+        self.n = n
+        self.beacons_per_second = int(beacons_per_second)
+        self.alpha = float(alpha)
+        self.stale_s = float(stale_s)
+        self.forget_below = float(forget_below)
+        self.sim = sim
+        #: ``incoming[i, j]`` = row-i node's exponential average of
+        #: ``p(j -> i)``; zero cells are unknown/forgotten peers.
+        self.incoming = np.zeros((n, n), dtype=np.float64)
+        # Per-second heard counts, scattered from the views' row
+        # buffers at fold time (float64 so the fold needs no cast).
+        self._heard = np.zeros((n, n), dtype=np.float64)
+        #: Fold epoch; bumped once per tick (every view's snapshot and
+        #: relay-table validity is keyed to it).
+        self.epoch = 0
+        #: Folds run and wall seconds spent folding — reported by the
+        #: perf bench as ``estimator_fold_s``.
+        self.fold_count = 0
+        self.fold_wall_s = 0.0
+        self._views = {}
+        self._nodes = []
+        self._armed = False
+
+    def view(self, node_id):
+        """The per-node facade for *node_id* (created on first use)."""
+        facade = self._views.get(node_id)
+        if facade is None:
+            if node_id not in self.index:
+                raise KeyError(f"node {node_id!r} is not in this bank")
+            facade = self._views[node_id] = \
+                BankedReceptionEstimator(self, node_id)
+        return facade
+
+    def register(self, node):
+        """Register a protocol node for the shared per-second tick.
+
+        The first registration arms the bank's single fire-and-forget
+        event exactly one second ahead (period-aligned: the first fold
+        window is one second long — the first-tick bugfix).  Each tick
+        folds every view, then calls every registered node's
+        ``on_second`` hook in registration order.
+        """
+        self._nodes.append(node)
+        if not self._armed:
+            if self.sim is None:
+                raise ValueError(
+                    "EstimatorBank.register needs a simulator; "
+                    "standalone banks drive tick_second directly"
+                )
+            self._armed = True
+            self.sim.schedule_fire(1.0, self._tick)
+
+    def _tick(self):
+        now = self.sim.now
+        self.tick_second(now)
+        for node in self._nodes:
+            node.on_second()
+        self.sim.schedule_fire(1.0, self._tick)
+
+    def tick_second(self, now):
+        """Fold the elapsed second for every node in one pass."""
+        t0 = time.perf_counter()
+        n = self.n
+        heard = self._heard
+        heard[:] = 0.0
+        views = self._views.values()
+        for facade in views:
+            if facade._pending:
+                facade._flush()
+            rows = facade._heard_rows
+            if rows:
+                heard[facade._row] = np.bincount(rows, minlength=n)
+                del facade._heard_rows[:]
+        # Same expressions, same IEEE-754 ops as the dict fold:
+        # ratio = min(count / bps, 1.0); avg = alpha*ratio +
+        # (1-alpha)*previous (addition order is commutative bitwise).
+        ratio = np.minimum(heard / float(self.beacons_per_second), 1.0)
+        incoming = self.incoming
+        incoming *= (1.0 - self.alpha)
+        incoming += self.alpha * ratio
+        # Forgetting: the dict mode deletes averages below the
+        # threshold; zero cells answer queries identically.
+        incoming[incoming < self.forget_below] = 0.0
+        self.epoch += 1
+        for facade in views:
+            facade._on_fold(now)
+        self.fold_count += 1
+        self.fold_wall_s += time.perf_counter() - t0
+
+
+class BankedReceptionEstimator:
+    """Per-node view onto an :class:`EstimatorBank`.
+
+    Drop-in for :class:`ReceptionEstimator` on every query path the
+    protocol uses.  First-hand state (heard counts, exponential
+    averages) lives in the bank's shared arrays; dissemination state
+    (latest report per sender, outgoing quality, the copy-on-write
+    ``learned`` map, the relay-table cache) stays per-node, stored by
+    reference exactly like the dict mode — but pruned at each fold
+    once a peer falls past the staleness horizon, so it is bounded by
+    the live-peer count.
+
+    Beacon ingest appends to the per-node pending buffer; queries
+    flush first, so observable state is identical to eager ingest.
+    The flush is leaner than the dict mode's: heard counts are one
+    list append (scattered via ``bincount`` at the fold) and the
+    relay-table cache validates against report tuple *identity*
+    instead of a per-sender epoch counter, dropping two dict updates
+    from the per-beacon path.  ``_last_heard`` is gone entirely —
+    recency queries read the report timestamps, which flush writes
+    anyway.
+    """
+
+    _RELAY_CACHE_MAX = ReceptionEstimator._RELAY_CACHE_MAX
+
+    __slots__ = (
+        "bank", "node_id", "_row", "_row_view", "_row_floats", "_index",
+        "stale_s", "_pending", "_heard_rows", "_reports", "_outgoing",
+        "_incoming_snapshot", "_learned_live", "_learned_shared",
+        "_learned_expiry", "_relay_tables",
+    )
+
+    def __init__(self, bank, node_id):
+        self.bank = bank
+        self.node_id = node_id
+        self._row = bank.index[node_id]
+        # A view into the bank's matrix: the fold mutates in place, so
+        # the row view is always current.  The python-float copy of it
+        # is rebuilt lazily once per fold epoch — averages only change
+        # at folds — so scalar reads skip per-call numpy extraction.
+        self._row_view = bank.incoming[self._row]
+        self._row_floats = None
+        self._index = bank.index
+        self.stale_s = bank.stale_s
+        self._pending = []
+        self._heard_rows = []
+        # sender -> (arrived_at, incoming, learned), by reference —
+        # the report maps double as the last-heard clock.
+        self._reports = {}
+        self._outgoing = {}
+        self._incoming_snapshot = None
+        self._learned_live = {}
+        self._learned_shared = False
+        self._learned_expiry = math.inf
+        self._relay_tables = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def on_beacon(self, beacon, now):
+        """Record one received beacon; folded in at the next query."""
+        self._pending.append((beacon, now))
+
+    def _flush(self):
+        """Fold the pending beacon batch into the tables, in order."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        rows = self._heard_rows
+        index = self._index
+        reports = self._reports
+        outgoing = self._outgoing
+        learned_live = self._learned_live
+        node_id = self.node_id
+        stale_s = self.stale_s
+        learned_expiry = self._learned_expiry
+        for beacon, now in pending:
+            sender = beacon.sender
+            rows.append(index[sender])
+            incoming = beacon.incoming
+            reports[sender] = (now, incoming, beacon.learned)
+            mine = incoming.get(node_id)
+            if mine is not None:
+                outgoing[sender] = (mine, now)
+                if self._learned_shared:
+                    learned_live = self._learned_live = dict(learned_live)
+                    self._learned_shared = False
+                learned_live[sender] = mine
+                expires = now + stale_s
+                if expires < learned_expiry:
+                    learned_expiry = expires
+        self._learned_expiry = learned_expiry
+
+    def _row_list(self):
+        """This node's averages as python floats (epoch-cached)."""
+        row = self._row_floats
+        if row is None:
+            row = self._row_floats = self._row_view.tolist()
+        return row
+
+    def _on_fold(self, now):
+        """Bank callback after the vectorized fold of one second."""
+        self._incoming_snapshot = None
+        self._row_floats = None
+        # Bounded peer state: a report past the staleness horizon can
+        # never be served again (probability rejects it, the learned
+        # rebuild skips it), so drop it — and the peer's outgoing
+        # entry — instead of keeping every peer ever heard.
+        stale_s = self.stale_s
+        reports = self._reports
+        if reports:
+            dead = [s for s, rep in reports.items()
+                    if now - rep[0] > stale_s]
+            for s in dead:
+                del reports[s]
+        outgoing = self._outgoing
+        if outgoing:
+            dead = [s for s, (_, ts) in outgoing.items()
+                    if now - ts > stale_s]
+            for s in dead:
+                del outgoing[s]
+
+    def tick_second(self, now):
+        """Fold the elapsed second — for the *whole* owning bank.
+
+        Standalone convenience that makes a view a drop-in for
+        :class:`ReceptionEstimator` in unit scenarios; the protocol
+        never calls it (the bank's own per-second event folds every
+        view at once).
+        """
+        self.bank.tick_second(now)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def incoming_probability(self, peer):
+        """First-hand estimate of ``p(peer -> self)``."""
+        j = self._index.get(peer)
+        return self._row_list()[j] if j is not None else 0.0
+
+    def incoming_estimates(self):
+        """Snapshot of all first-hand incoming estimates."""
+        ids = self.bank.ids
+        return {ids[j]: value
+                for j, value in enumerate(self._row_list())
+                if value}
+
+    def heard_recently(self, peer, now, within_s):
+        """Was a beacon from *peer* heard within the last *within_s*?
+
+        Answers from the report clock; peers silent past ``stale_s``
+        are pruned, so horizons beyond it saturate at ``False``.
+        """
+        if self._pending:
+            self._flush()
+        rep = self._reports.get(peer)
+        return rep is not None and (now - rep[0]) <= within_s
+
+    def peers_heard_within(self, now, within_s):
+        """All peers whose beacons were heard within *within_s*."""
+        if self._pending:
+            self._flush()
+        return [
+            peer for peer, rep in self._reports.items()
+            if (now - rep[0]) <= within_s
+        ]
+
+    def probability(self, a, b, now):
+        """Best known estimate of ``p(a -> b)``; 0 when unknown/stale."""
+        if self._pending:
+            self._flush()
+        if a == b:
+            return 1.0
+        if b == self.node_id:
+            j = self._index.get(a)
+            return self._row_list()[j] if j is not None else 0.0
+        stale_s = self.stale_s
+        reports = self._reports
+        best = 0.0
+        best_ts = None
+        from_b = reports.get(b)
+        if from_b is not None and now - from_b[0] <= stale_s:
+            prob = from_b[1].get(a)
+            if prob is not None:
+                best = prob
+                best_ts = from_b[0]
+        from_a = reports.get(a)
+        if from_a is not None and now - from_a[0] <= stale_s:
+            prob = from_a[2].get(b)
+            if prob is not None and (best_ts is None or from_a[0] > best_ts):
+                best = prob
+        return best
+
+    def probability_lookup(self, now):
+        """A ``(a, b) -> p`` callable bound to the current time."""
+        def lookup(a, b):
+            return self.probability(a, b, now)
+        return lookup
+
+    def relay_table(self, aux_ids, src, dst, now):
+        """Cached :class:`~repro.core.relaying.RelayTable` for a decision.
+
+        Same contract as the dict mode's — cached tables are
+        bit-for-bit what a fresh build would produce — with two
+        array-mode twists: cache validity is the *identity* of each
+        participant's report tuple (no per-sender epoch dict), and
+        the build prefetches the src/dst reports once instead of
+        re-fetching them for each of the 3K+1 probability lookups,
+        accumulating the Eq. 1 sums with exactly the arithmetic, in
+        exactly the order, of :class:`RelayTable`'s own constructor.
+        """
+        if self._pending:
+            self._flush()
+        key = (aux_ids, src, dst)
+        cached = self._relay_tables.get(key)
+        if cached is not None and now <= cached[1] \
+                and cached[3] == self.bank.epoch:
+            reports = self._reports
+            for participant, report in cached[0]:
+                if reports.get(participant) is not report:
+                    break
+            else:
+                return cached[2]
+        if len(self._relay_tables) > self._RELAY_CACHE_MAX:
+            self._relay_tables.clear()
+        stale_s = self.stale_s
+        reports = self._reports
+        node_id = self.node_id
+        row = self._row_list()
+        index = self._index
+        bound = math.inf
+        # Prefetch the src/dst reports once (the generic path fetched
+        # them for every one of the 3K+1 lookups); consulting a fresh
+        # report narrows the validity bound to its staleness expiry,
+        # exactly as _probability_ts does.  The per-aux probability
+        # logic below is probability() inlined over the prefetched
+        # reports — the build is the hottest estimator query path, and
+        # the closure frames were a measurable share of it.
+        from_src = reports.get(src)
+        if from_src is not None:
+            if now - from_src[0] > stale_s:
+                from_src = None
+            else:
+                bound = from_src[0] + stale_s
+        from_dst = reports.get(dst)
+        if from_dst is not None:
+            if now - from_dst[0] > stale_s:
+                from_dst = None
+            else:
+                expires = from_dst[0] + stale_s
+                if expires < bound:
+                    bound = expires
+        # p(src -> dst): dst is never this node — nor equal to src —
+        # in a relay decision, but the general cases cost one extra
+        # comparison each.
+        if src == dst:
+            p_src_dst = 1.0
+        elif dst == node_id:
+            j = index.get(src)
+            p_src_dst = row[j] if j is not None else 0.0
+        else:
+            p_src_dst = 0.0
+            best_ts = None
+            if from_dst is not None:
+                prob = from_dst[1].get(src)
+                if prob is not None:
+                    p_src_dst = prob
+                    best_ts = from_dst[0]
+            if from_src is not None:
+                prob = from_src[2].get(dst)
+                if prob is not None \
+                        and (best_ts is None or from_src[0] > best_ts):
+                    p_src_dst = prob
+        k = len(aux_ids)
+        contention = np.empty(k, dtype=np.float64)
+        p_to_dst = np.empty(k, dtype=np.float64)
+        denominator = 0.0
+        total_contention = 0.0
+        for i, aux in enumerate(aux_ids):
+            from_aux = reports.get(aux)
+            if from_aux is not None:
+                if now - from_aux[0] > stale_s:
+                    from_aux = None
+                else:
+                    expires = from_aux[0] + stale_s
+                    if expires < bound:
+                        bound = expires
+            aux_is_self = aux == node_id
+            # p(src -> aux)
+            if src == aux:
+                p_s_a = 1.0
+            elif aux_is_self:
+                j = index.get(src)
+                p_s_a = row[j] if j is not None else 0.0
+            else:
+                p_s_a = 0.0
+                best_ts = None
+                if from_aux is not None:
+                    prob = from_aux[1].get(src)
+                    if prob is not None:
+                        p_s_a = prob
+                        best_ts = from_aux[0]
+                if from_src is not None:
+                    prob = from_src[2].get(aux)
+                    if prob is not None \
+                            and (best_ts is None or from_src[0] > best_ts):
+                        p_s_a = prob
+            # p(dst -> aux)
+            if dst == aux:
+                p_d_a = 1.0
+            elif aux_is_self:
+                j = index.get(dst)
+                p_d_a = row[j] if j is not None else 0.0
+            else:
+                p_d_a = 0.0
+                best_ts = None
+                if from_aux is not None:
+                    prob = from_aux[1].get(dst)
+                    if prob is not None:
+                        p_d_a = prob
+                        best_ts = from_aux[0]
+                if from_dst is not None:
+                    prob = from_dst[2].get(aux)
+                    if prob is not None \
+                            and (best_ts is None or from_dst[0] > best_ts):
+                        p_d_a = prob
+            # p(aux -> dst)
+            if aux == dst:
+                p_a_d = 1.0
+            elif dst == node_id:
+                j = index.get(aux)
+                p_a_d = row[j] if j is not None else 0.0
+            else:
+                p_a_d = 0.0
+                best_ts = None
+                if from_dst is not None:
+                    prob = from_dst[1].get(aux)
+                    if prob is not None:
+                        p_a_d = prob
+                        best_ts = from_dst[0]
+                if from_aux is not None:
+                    prob = from_aux[2].get(dst)
+                    if prob is not None \
+                            and (best_ts is None or from_aux[0] > best_ts):
+                        p_a_d = prob
+            c_i = p_s_a * (1.0 - p_src_dst * p_d_a)
+            contention[i] = c_i
+            p_to_dst[i] = p_a_d
+            denominator += c_i * p_a_d
+            total_contention += c_i
+        table = RelayTable.from_columns(
+            aux_ids, contention, p_to_dst, denominator, total_contention
+        )
+        participants = tuple(
+            (participant, reports.get(participant))
+            for participant in (src, dst) + aux_ids
+        )
+        self._relay_tables[key] = (participants, bound, table,
+                                   self.bank.epoch)
+        return table
+
+    # ------------------------------------------------------------------
+    # Beacon payload construction
+    # ------------------------------------------------------------------
+
+    def beacon_reports(self, now):
+        """Build the (incoming, learned) maps to embed in a beacon.
+
+        Identical semantics to the dict mode (COW-cached maps whose
+        contents equal a fresh rebuild); the ``incoming`` snapshot is
+        materialized from the bank row once per fold epoch.
+        """
+        if self._pending:
+            self._flush()
+        incoming = self._incoming_snapshot
+        if incoming is None:
+            ids = self.bank.ids
+            incoming = self._incoming_snapshot = {
+                ids[j]: value
+                for j, value in enumerate(self._row_list())
+                if value
+            }
+        if now > self._learned_expiry:
             stale_s = self.stale_s
             expiry = math.inf
             learned = {}

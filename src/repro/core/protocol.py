@@ -22,7 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.core.node import BasestationNode, BeaconSlotter, VehicleNode
-from repro.core.probabilities import ReceptionEstimator
+from repro.core.probabilities import EstimatorBank, ReceptionEstimator
 from repro.core.relaying import make_strategy
 from repro.core.retransmit import AdaptiveRetxTimer
 from repro.core.stats import ViFiStats
@@ -48,6 +48,14 @@ class ViFiConfig:
     beacon_interval: float = 0.1
     prob_alpha: float = 0.5
     prob_stale_s: float = 5.0
+    # Estimator backend: "array" runs the simulation-wide
+    # struct-of-arrays EstimatorBank (one per-second heap event folds
+    # every node's averages in one vectorized pass; period-aligned
+    # first fold; per-peer state pruned at the staleness horizon);
+    # "dict" keeps the historical per-node estimator verbatim —
+    # including its first-tick bias and unpruned peer state — for the
+    # digest-anchored equivalence suite.
+    estimator: str = "array"
     # Slot-aligned beacon batching: all beacons nominally due within
     # one slot are emitted by a single heap event at the slot boundary
     # (nominal rates are preserved; emissions shift by at most one
@@ -231,6 +239,21 @@ class _Context:
         self._nodes = {}
         self.gateway = None
         self.beacon_slotter = None
+        if config.estimator not in ("array", "dict"):
+            raise ValueError(
+                f"unknown estimator mode {config.estimator!r}"
+            )
+        # One bank serves every node in array mode; its row universe is
+        # the full participant set, known here up front.
+        self.estimator_bank = None
+        if config.estimator == "array":
+            self.estimator_bank = EstimatorBank(
+                (vehicle_id,) + self.bs_ids,
+                beacons_per_second=config.beacons_per_second,
+                alpha=config.prob_alpha,
+                stale_s=config.prob_stale_s,
+                sim=sim,
+            )
 
     def register(self, node):
         self._nodes[node.node_id] = node
@@ -242,6 +265,8 @@ class _Context:
         return next(self._tx_ids)
 
     def make_estimator(self, node_id):
+        if self.estimator_bank is not None:
+            return self.estimator_bank.view(node_id)
         return ReceptionEstimator(
             node_id,
             beacons_per_second=self.config.beacons_per_second,

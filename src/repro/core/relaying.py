@@ -103,6 +103,27 @@ class RelayTable:
         self.denominator = denominator
         self.total_contention = total_contention
 
+    @classmethod
+    def from_columns(cls, aux_ids, contention, p_to_dst, denominator,
+                     total_contention):
+        """Adopt prebuilt columns and sums without re-running lookups.
+
+        Used by the array-backed estimator, whose relay-table build
+        prefetches each participant's report once and accumulates the
+        two sums with exactly the arithmetic, in exactly the order, of
+        :meth:`__init__` — callers are responsible for that contract,
+        which keeps adopted tables bit-for-bit interchangeable with
+        constructor-built ones.
+        """
+        table = cls.__new__(cls)
+        table.aux_ids = tuple(aux_ids)
+        table.index = {aux: i for i, aux in enumerate(table.aux_ids)}
+        table.contention = contention
+        table.p_to_dst = p_to_dst
+        table.denominator = denominator
+        table.total_contention = total_contention
+        return table
+
     def own_delivery(self, self_id):
         """``p(self -> dst)`` as a python float, or ``None`` if absent."""
         i = self.index.get(self_id)

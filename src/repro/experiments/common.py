@@ -262,7 +262,9 @@ def vanlan_cbr_trip(task):
     Args:
         task: mapping with keys ``trip`` and optionally
             ``testbed_seed`` (default 0), ``seed`` (default: trip),
-            ``duration_s`` (default 60).
+            ``duration_s`` (default 60), ``estimator`` (``"array"`` /
+            ``"dict"``; default: the stock config — lets sweeps
+            compare the estimator backends like-for-like).
 
     Returns:
         dict with the delivery sequences, event count, and per-kind
@@ -276,12 +278,15 @@ def vanlan_cbr_trip(task):
     seed = int(task.get("seed", trip))
     duration = float(task.get("duration_s", 60.0))
     testbed_seed = int(task.get("testbed_seed", 0))
+    config = None
+    if "estimator" in task:
+        config = ViFiConfig(estimator=str(task["estimator"]))
     testbed = VanLanTestbed(seed=testbed_seed)
     bank = shared_bank(testbed_seed, trip)
     # Without a shared bank, prefill only what the task will simulate
     # (the horizon never changes bucket values, only build cost).
     sim, _ = vanlan_protocol(testbed, trip=trip, seed=seed, bank=bank,
-                             prefill=duration + 1.0)
+                             config=config, prefill=duration + 1.0)
     cbr = run_protocol_cbr(sim, duration)
     return {
         "trip": trip,

@@ -161,7 +161,10 @@ def run_workload(name):
     the wall spent building the simulation (testbed, link table,
     propagation bank) and ``prefill_s`` the bank-prefill share of it —
     neither is ever charged to the timed region, so the sim-rate
-    reflects run cost alone.
+    reflects run cost alone.  ``estimator`` records the reception-
+    estimator mode the workload ran under and ``estimator_fold_s``
+    the wall spent inside the array bank's per-second vectorized
+    folds (0.0 in dict mode, whose folds run inside per-node events).
     """
     if name not in _BUILDERS:
         raise KeyError(f"unknown workload {name!r}; have {WORKLOADS}")
@@ -182,6 +185,12 @@ def run_workload(name):
     events_per_s = events / wall if wall > 0 else float("inf")
     sim_rate = duration / wall if wall > 0 else float("inf")
     bank = getattr(sim, "link_bank", None)
+    # The estimator mode and its fold cost are tracked per workload:
+    # the array bank accumulates the wall spent in its single
+    # per-second vectorized fold (estimator_fold_s), the block the
+    # PR 5 refactor targets; the dict mode folds inside per-node
+    # events and reports 0.0.
+    estimator_bank = getattr(sim.ctx, "estimator_bank", None)
     record = {
         "workload": name,
         "wall_s": round(wall, 4),
@@ -190,6 +199,10 @@ def run_workload(name):
         "events": int(events),
         "events_per_s": round(events_per_s, 1),
         "sim_s_per_wall_s": round(sim_rate, 2),
+        "estimator": "dict" if estimator_bank is None else "array",
+        "estimator_fold_s": round(
+            getattr(estimator_bank, "fold_wall_s", 0.0), 4
+        ),
         "git_sha": git_sha(),
     }
     baseline_rate = BASELINE_SIM_RATE.get(name)

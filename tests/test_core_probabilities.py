@@ -1,8 +1,16 @@
-"""Unit tests for beacon-based reception-probability estimation."""
+"""Unit tests for beacon-based reception-probability estimation.
+
+Every test runs against both estimator backends: the historical
+per-node dict :class:`ReceptionEstimator` and a view onto the
+struct-of-arrays :class:`EstimatorBank` — the observable behaviour of
+the two is identical wherever the fold instants match (the bank's
+``tick_second`` view hook folds the whole bank, which in a one-view
+scenario is exactly the dict fold).
+"""
 
 import pytest
 
-from repro.core.probabilities import ReceptionEstimator
+from repro.core.probabilities import EstimatorBank, ReceptionEstimator
 from repro.net.packet import Beacon
 
 
@@ -11,18 +19,29 @@ def beacon(sender, incoming=None, learned=None, t=0.0):
                   incoming=incoming or {}, learned=learned or {})
 
 
+@pytest.fixture(params=["dict", "array"])
+def make_estimator(request):
+    """Factory building either estimator backend over a 10-node
+    universe (covering every id the tests use)."""
+    def make(node_id, **kwargs):
+        if request.param == "dict":
+            return ReceptionEstimator(node_id, **kwargs)
+        bank = EstimatorBank(tuple(range(10)), **kwargs)
+        return bank.view(node_id)
+    return make
+
+
 class TestFirstHandEstimation:
-    def test_full_reception_converges_to_one(self):
-        est = ReceptionEstimator(node_id=1, beacons_per_second=10)
+    def test_full_reception_converges_to_one(self, make_estimator):
+        est = make_estimator(1, beacons_per_second=10)
         for sec in range(8):
             for k in range(10):
                 est.on_beacon(beacon(2), now=sec + k * 0.1)
             est.tick_second(now=sec + 1.0)
         assert est.incoming_probability(2) == pytest.approx(1.0, abs=0.01)
 
-    def test_exponential_average_half_life(self):
-        est = ReceptionEstimator(node_id=1, beacons_per_second=10,
-                                 alpha=0.5)
+    def test_exponential_average_half_life(self, make_estimator):
+        est = make_estimator(1, beacons_per_second=10, alpha=0.5)
         for k in range(10):
             est.on_beacon(beacon(2), now=k * 0.1)
         est.tick_second(now=1.0)
@@ -30,18 +49,17 @@ class TestFirstHandEstimation:
         est.tick_second(now=2.0)  # silent second decays by half
         assert est.incoming_probability(2) == pytest.approx(0.25)
 
-    def test_silent_peer_eventually_forgotten(self):
-        est = ReceptionEstimator(node_id=1, beacons_per_second=10,
-                                 forget_below=0.05)
+    def test_silent_peer_eventually_forgotten(self, make_estimator):
+        est = make_estimator(1, beacons_per_second=10,
+                             forget_below=0.05)
         for k in range(10):
             est.on_beacon(beacon(2), now=k * 0.1)
         for sec in range(1, 8):
             est.tick_second(now=float(sec))
         assert est.incoming_probability(2) == 0.0
 
-    def test_partial_reception_ratio(self):
-        est = ReceptionEstimator(node_id=1, beacons_per_second=10,
-                                 alpha=1.0)
+    def test_partial_reception_ratio(self, make_estimator):
+        est = make_estimator(1, beacons_per_second=10, alpha=1.0)
         for k in range(6):
             est.on_beacon(beacon(2), now=k * 0.1)
         est.tick_second(now=1.0)
@@ -49,30 +67,30 @@ class TestFirstHandEstimation:
 
 
 class TestDissemination:
-    def test_incoming_reports_teach_pair_probabilities(self):
-        est = ReceptionEstimator(node_id=3)
+    def test_incoming_reports_teach_pair_probabilities(
+            self, make_estimator):
+        est = make_estimator(3)
         est.on_beacon(beacon(2, incoming={5: 0.7}), now=1.0)
         assert est.probability(5, 2, now=1.5) == 0.7
 
-    def test_learned_reports_teach_outgoing(self):
-        est = ReceptionEstimator(node_id=3)
+    def test_learned_reports_teach_outgoing(self, make_estimator):
+        est = make_estimator(3)
         est.on_beacon(beacon(2, learned={7: 0.4}), now=1.0)
         assert est.probability(2, 7, now=1.5) == 0.4
 
-    def test_own_outgoing_learned_from_peer(self):
+    def test_own_outgoing_learned_from_peer(self, make_estimator):
         """p(self -> peer) comes from the peer's incoming report."""
-        est = ReceptionEstimator(node_id=3)
+        est = make_estimator(3)
         est.on_beacon(beacon(2, incoming={3: 0.55}), now=1.0)
         assert est.probability(3, 2, now=1.5) == 0.55
 
-    def test_stale_entries_distrusted(self):
-        est = ReceptionEstimator(node_id=3, stale_s=5.0)
+    def test_stale_entries_distrusted(self, make_estimator):
+        est = make_estimator(3, stale_s=5.0)
         est.on_beacon(beacon(2, incoming={5: 0.7}), now=1.0)
         assert est.probability(5, 2, now=10.0) == 0.0
 
-    def test_first_hand_wins_for_own_incoming(self):
-        est = ReceptionEstimator(node_id=1, beacons_per_second=10,
-                                 alpha=1.0)
+    def test_first_hand_wins_for_own_incoming(self, make_estimator):
+        est = make_estimator(1, beacons_per_second=10, alpha=1.0)
         for k in range(10):
             est.on_beacon(beacon(2), now=k * 0.1)
         est.tick_second(now=1.0)
@@ -81,19 +99,18 @@ class TestDissemination:
         est.on_beacon(beacon(9, learned={1: 0.1}), now=1.1)
         assert est.probability(2, 1, now=1.2) == pytest.approx(1.0)
 
-    def test_self_probability_is_one(self):
-        est = ReceptionEstimator(node_id=1)
+    def test_self_probability_is_one(self, make_estimator):
+        est = make_estimator(1)
         assert est.probability(1, 1, now=0.0) == 1.0
 
-    def test_unknown_pair_is_zero(self):
-        est = ReceptionEstimator(node_id=1)
+    def test_unknown_pair_is_zero(self, make_estimator):
+        est = make_estimator(1)
         assert est.probability(5, 6, now=0.0) == 0.0
 
 
 class TestBeaconReports:
-    def test_reports_round_trip(self):
-        est = ReceptionEstimator(node_id=1, beacons_per_second=10,
-                                 alpha=1.0)
+    def test_reports_round_trip(self, make_estimator):
+        est = make_estimator(1, beacons_per_second=10, alpha=1.0)
         for k in range(10):
             est.on_beacon(beacon(2), now=k * 0.1)
         est.tick_second(now=1.0)
@@ -102,8 +119,8 @@ class TestBeaconReports:
         assert incoming[2] == pytest.approx(1.0)
         assert learned[2] == 0.8  # p(1 -> 2) learned from 2's beacon
 
-    def test_probability_lookup_binds_time(self):
-        est = ReceptionEstimator(node_id=3, stale_s=2.0)
+    def test_probability_lookup_binds_time(self, make_estimator):
+        est = make_estimator(3, stale_s=2.0)
         est.on_beacon(beacon(2, incoming={5: 0.7}), now=0.0)
         fresh = est.probability_lookup(now=1.0)
         stale = est.probability_lookup(now=10.0)
@@ -112,15 +129,33 @@ class TestBeaconReports:
 
 
 class TestRecency:
-    def test_heard_recently(self):
-        est = ReceptionEstimator(node_id=1)
+    def test_heard_recently(self, make_estimator):
+        est = make_estimator(1)
         est.on_beacon(beacon(2), now=5.0)
         assert est.heard_recently(2, now=6.0, within_s=2.0)
         assert not est.heard_recently(2, now=9.0, within_s=2.0)
         assert not est.heard_recently(3, now=5.0, within_s=2.0)
 
-    def test_peers_heard_within(self):
-        est = ReceptionEstimator(node_id=1)
+    def test_peers_heard_within(self, make_estimator):
+        est = make_estimator(1)
         est.on_beacon(beacon(2), now=1.0)
         est.on_beacon(beacon(3), now=4.0)
         assert set(est.peers_heard_within(now=4.5, within_s=2.0)) == {3}
+
+
+class TestBankConstruction:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            EstimatorBank((1, 2, 2))
+
+    def test_unknown_view_rejected(self):
+        with pytest.raises(KeyError):
+            EstimatorBank((1, 2)).view(7)
+
+    def test_view_is_memoized(self):
+        bank = EstimatorBank((1, 2))
+        assert bank.view(1) is bank.view(1)
+
+    def test_register_needs_a_simulator(self):
+        with pytest.raises(ValueError):
+            EstimatorBank((1, 2)).register(object())

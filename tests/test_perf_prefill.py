@@ -3,11 +3,11 @@
 Covers the guarantees the bucket-centre propagation banks (whole-trip
 prefill, cross-run sharing) and the slot-batch medium resolve lean on:
 
-* ``sampling="first-query"`` with slot batching off keeps the PR 3
-  code paths verbatim: a full pinned VanLAN trip reproduces the PR 3
-  committed realization **bitwise** (anchored by a stored digest of
-  the PR 3 run, so an accidental perturbation of shared code cannot
-  slip through);
+* ``sampling="first-query"`` with slot batching off (and, since PR 5,
+  ``estimator="dict"``) keeps the PR 3 code paths verbatim: a full
+  pinned VanLAN trip reproduces the PR 3 committed realization
+  **bitwise** (anchored by a stored digest of the PR 3 run, so an
+  accidental perturbation of shared code cannot slip through);
 * under ``sampling="centre"`` a bucket's value is a pure function of
   (link, bucket): prefilled and lazily filled banks are bit-identical
   and consume identical RNG streams, banked values match the scalar
@@ -81,9 +81,14 @@ def _digest(signature):
 class TestFirstQueryLineage:
     @pytest.mark.slow
     def test_full_trip_reproduces_pr3_committed_realization(self):
-        """Legacy knobs == the PR 3 run, anchored by a stored digest."""
+        """Legacy knobs == the PR 3 run, anchored by a stored digest.
+
+        ``estimator="dict"`` joined the legacy-knob set in PR 5 (the
+        array bank is a different, distributionally-equivalent
+        realization — see ``tests/test_estimator_bank.py``).
+        """
         sim, sig = _signature(
-            ViFiConfig(medium_slot_batch=False),
+            ViFiConfig(medium_slot_batch=False, estimator="dict"),
             sampling="first-query", prefill=False, duration_s=120.0,
         )
         assert sim.sim.events_processed == PR3_ANCHOR_EVENTS
@@ -219,9 +224,10 @@ class TestBucketCentreBank:
     def test_centre_vs_first_query_distributional(self):
         """Acceptance: centre sampling agrees distributionally."""
         _, centre = _signature(duration_s=120.0)
-        _, legacy = _signature(ViFiConfig(medium_slot_batch=False),
-                               sampling="first-query", prefill=False,
-                               duration_s=120.0)
+        _, legacy = _signature(
+            ViFiConfig(medium_slot_batch=False, estimator="dict"),
+            sampling="first-query", prefill=False, duration_s=120.0,
+        )
         centre_beacons = sum(c for (_, kind), c in centre["tx"]
                              if kind == "beacon")
         legacy_beacons = sum(c for (_, kind), c in legacy["tx"]

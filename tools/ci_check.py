@@ -13,12 +13,15 @@ Runs, in order:
    scalar and batching equivalence properties, the PR 3 array-kernel /
    backoff-freezing CSMA equivalence suite
    (``tests/test_perf_kernel.py`` — full-trip array==scalar bitwise
-   equality and freeze-vs-defer protocol equivalence), and the PR 4
+   equality and freeze-vs-defer protocol equivalence), the PR 4
    sampling-convention suite (``tests/test_perf_prefill.py`` — the
    first-query mode's full-trip bitwise anchor and the bucket-centre /
-   slot-batch distributional equivalences).  The stage fails if the
-   slow marker collects nothing, so a marker typo cannot silently skip
-   the suite,
+   slot-batch distributional equivalences), and the PR 5 estimator
+   suite (``tests/test_estimator_bank.py`` — the dict mode's full-trip
+   digest anchor to the PR 4 committed realization and the array
+   bank's distributional equivalence).  The stage fails if the slow
+   marker collects nothing, so a marker typo cannot silently skip the
+   suite,
 3. the perf gate (``python -m repro bench --repeats 3`` via
    ``tools/perf_smoke.py``), which rewrites ``BENCH_perf.json`` and
    fails on a >20% tracked-rate regression against the committed
