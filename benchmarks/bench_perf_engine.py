@@ -80,11 +80,19 @@ def test_perf_engine(benchmark, save_results):
 
     by_name = {r["workload"]: r for r in results}
     vanlan = by_name["vanlan_cbr_120s"]
+    host = vanlan.get("host", {})
+    print(f"host: {host.get('cpu_count')} cpus, "
+          f"load {host.get('loadavg_1m')}, "
+          f"python {host.get('python')}, numpy {host.get('numpy')}")
     # The pinned workloads run the stock config, so they exercise the
-    # array estimator bank and report its fold cost (PR 5).
+    # array estimator bank and report its fold cost (PR 5), and every
+    # record carries the host-state snapshot (PR 6) so committed
+    # numbers are attributable to a machine condition.
     for record in results:
         assert record["estimator"] == "array"
         assert 0.0 <= record["estimator_fold_s"] < record["wall_s"]
+        assert record["host"]["cpu_count"] >= 1
+        assert record["host"]["python"]
     # The tentpole acceptance bar: the sim-rate speedup targets on
     # both pinned single-process workloads against the seed baseline.
     assert vanlan["speedup_vs_baseline"] >= TARGET_SPEEDUP, (

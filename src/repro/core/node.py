@@ -26,7 +26,7 @@ import heapq
 import itertools
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.relaying import RelayContext
 from repro.net.packet import Ack, Beacon, DataPacket, Direction, FrameKind
@@ -186,17 +186,105 @@ class _ReceiverState:
         return bitmap
 
 
-@dataclass
-class _Pending:
-    """A packet owned by a :class:`LinkSender` awaiting acknowledgment."""
+# Sender-side packet row states (see LinkSender).  A row is GONE once
+# acknowledged, given up, or harvested by a salvage request; GONE rows
+# are tombstones until the dead prefix is compacted away.
+_GONE = 0
+_PENDING = 1
 
-    packet: DataPacket
-    enqueued_at: float
-    arrival_at: float  # when it arrived at this sender (salvage age)
-    tx_times: dict = field(default_factory=dict)
-    tx_count: int = 0
-    next_retx: float = 0.0
-    acked: bool = False
+#: Ring depth of a :class:`_PacketBank` source — power of two so the
+#: slot map is a mask.  Twice the ``_RECEIVE_MEMORY`` window; the relay
+#: horizons it must span (ack windows, retransmission lifetimes) are
+#: fractions of a second against thousands of fresh ids.
+_BANK_CAPACITY = 1024
+_BANK_MASK = _BANK_CAPACITY - 1
+
+# Per-row flag bits of a _PacketBank source ring.
+_HEARD = 1       # an overheard data copy's time is in `heard`
+_SUPPRESSED = 2  # an overheard ack retired this packet from relaying
+_STORED = 4      # a relay decision is pending; candidate copy in `pkt`
+
+
+class _SourceRing:
+    """One source's packet rows inside a :class:`_PacketBank`."""
+
+    __slots__ = ("ids", "flags", "heard", "stored_at", "pkt", "considered")
+
+    def __init__(self):
+        self.ids = [-1] * _BANK_CAPACITY
+        self.flags = [0] * _BANK_CAPACITY
+        self.heard = [0.0] * _BANK_CAPACITY
+        self.stored_at = [0.0] * _BANK_CAPACITY
+        self.pkt = [None] * _BANK_CAPACITY
+        self.considered = [None] * _BANK_CAPACITY
+
+    def claim(self, pkt_id):
+        """Row index for *pkt_id*, recycling an older occupant.
+
+        Returns -1 when the slot is owned by a *newer* id: the query is
+        about a packet at least ``_BANK_CAPACITY`` ids stale, far
+        outside every relay/ack horizon, and is dropped rather than
+        allowed to clobber live state.
+        """
+        i = pkt_id & _BANK_MASK
+        cur = self.ids[i]
+        if cur != pkt_id:
+            if cur > pkt_id:
+                return -1
+            self.ids[i] = pkt_id
+            self.flags[i] = 0
+            self.pkt[i] = None
+            self.considered[i] = None
+        return i
+
+    def probe(self, pkt_id):
+        """Row index for *pkt_id* if it currently owns its slot."""
+        i = pkt_id & _BANK_MASK
+        return i if self.ids[i] == pkt_id else -1
+
+
+class _PacketBank:
+    """Ring/bitmap bookkeeping for the auxiliary-relay pipeline.
+
+    The :class:`_ReceiverState` scheme generalized to the overhear /
+    ack-suppression / relay-decision state a basestation keeps per
+    overheard packet.  Instead of four dicts keyed by ``(src, pkt_id)``
+    tuples (plus a periodic pruning scan to bound them), each source
+    gets a fixed ring of integer-indexed rows — slot = ``pkt_id &
+    mask`` — carrying the overhear time, suppression and
+    pending-decision flag bits, the stored relay candidate, and the
+    tx_ids already considered.  Every query is a mask, a list index and
+    an int compare; memory is bounded by construction, so the pruning
+    scans disappear.
+
+    Eviction is by slot reuse: a row lives for ``_BANK_CAPACITY``
+    packet ids of its source.  As with ``_ReceiverState``, the relay
+    horizons (``relay_max_age`` 0.25 s, retransmission lifetimes under
+    a couple of seconds) are orders of magnitude shorter than a
+    1024-id window, so recycling diverges from the dict path only for
+    copies or acks arriving absurdly late — the slow oracle suite
+    asserts query-for-query equality against a reference dict
+    implementation under protocol-shaped schedules.
+    """
+
+    __slots__ = ("_rings", "_src", "_ring")
+
+    def __init__(self):
+        self._rings = {}
+        self._src = None
+        self._ring = None
+
+    def ring(self, src):
+        """The per-source ring, with a one-entry lookup cache (a BS
+        overhears essentially one conversation at a time)."""
+        if src == self._src:
+            return self._ring
+        ring = self._rings.get(src)
+        if ring is None:
+            ring = self._rings[src] = _SourceRing()
+        self._src = src
+        self._ring = ring
+        return ring
 
 
 class LinkSender:
@@ -206,6 +294,18 @@ class LinkSender:
     queued packet that is ready for transmission", retransmits
     unacknowledged packets when the adaptive timer expires (bounded by
     ``config.max_retx``), and processes bitmap acknowledgments.
+
+    Packet state is columnar: pkt_ids are dense and monotone (one
+    ``itertools.count`` per sender), so a packet's row is
+    ``pkt_id - _base`` into parallel lists — state code, packet object,
+    timestamps, transmission history, retransmission deadline.  An ack
+    lookup is an index compare plus a state read instead of tuple
+    hashing into a dict of per-packet objects, and the bitmap loop
+    touches eight adjacent rows.  Completed rows become in-place
+    tombstones (``_GONE``); the transmit FIFO drops them lazily instead
+    of ``deque.remove``-ing per completion (O(queue) per delivered
+    packet under backlog), and the dead column prefix is sliced off
+    every few thousand completions so memory tracks the live window.
 
     Args:
         node: owning node (provides ``node_id``, ``ctx``,
@@ -222,11 +322,27 @@ class LinkSender:
         self.dst_provider = dst_provider
         self._pkt_ids = itertools.count()
         self.queue = deque()
-        self.pending = {}
+        # Columnar packet rows, indexed by pkt_id - _base: state code,
+        # packet, enqueue/arrival times, per-copy tx ids and times
+        # (parallel small lists, allocated on first transmission),
+        # transmission count and next retransmission deadline.
+        self._base = 0
+        self._st = []
+        self._pkt = []
+        self._enq = []
+        self._arr = []
+        self._txi = []
+        self._txt = []
+        self._txc = []
+        self._nxt = []
+        self._live = 0
+        self._done_since_compact = 0
         # Unacked packets the link layer stopped retransmitting remain
         # eligible for salvaging (Section 4.5 transfers "any
         # unacknowledged packets ... received within a time threshold",
-        # whether or not their retransmission budget is spent).
+        # whether or not their retransmission budget is spent); their
+        # rows are tombstoned and the packet parked here until the next
+        # salvage request drains it.
         self._retired = {}
         self._retx_event = None
         # Lazily validated min-heap of (next_retx, pkt_id): pushed on
@@ -259,9 +375,15 @@ class LinkSender:
             salvaged=salvaged,
             payload=payload,
         )
-        self.pending[pkt_id] = _Pending(
-            packet=packet, enqueued_at=now, arrival_at=now
-        )
+        self._st.append(_PENDING)
+        self._pkt.append(packet)
+        self._enq.append(now)
+        self._arr.append(now)
+        self._txi.append(None)
+        self._txt.append(None)
+        self._txc.append(0)
+        self._nxt.append(0.0)
+        self._live += 1
         self.queue.append(pkt_id)
         self.enqueued += 1
         self.pump()
@@ -269,13 +391,14 @@ class LinkSender:
 
     @property
     def queued_count(self):
-        return len(self.pending)
+        return self._live
 
     # -- transmission --------------------------------------------------
 
     def pump(self):
         """Transmit the earliest ready packet if the interface is free."""
-        if not self.queue and not self._retx_heap:
+        queue = self.queue
+        if not queue and not self._retx_heap:
             # Nothing queued and no retransmission armed (the heap
             # drains before the timer is ever cancelled): the pump
             # call that follows every frame completion — including
@@ -288,39 +411,66 @@ class LinkSender:
             return
         now = self.ctx.sim.now
         config = self.ctx.config
-        chosen = None
-        for pkt_id in list(self.queue):
-            pend = self.pending.get(pkt_id)
-            if pend is None or pend.acked:
-                self.queue.remove(pkt_id)
+        if self._done_since_compact >= 4096:
+            self._done_since_compact = 0
+            self._compact()
+        st = self._st
+        txc = self._txc
+        nxt = self._nxt
+        base = self._base
+        # Reclaim completed head entries; mid-queue tombstones are
+        # merely skipped below (they drain once they reach the head).
+        # A negative index means the row was already compacted away —
+        # dead by definition.  The queue is in pkt_id order, so once
+        # the head row is live every later index is in range.
+        while queue:
+            idx = queue[0] - base
+            if idx >= 0 and st[idx] == _PENDING:
+                break
+            queue.popleft()
+        chosen = -1
+        max_tx = 1 + config.max_retx
+        for pkt_id in queue:
+            idx = pkt_id - base
+            if st[idx] != _PENDING:
                 continue
-            if pend.tx_count == 0:
-                chosen = pend
+            count = txc[idx]
+            if count == 0:
+                chosen = idx
                 break
-            if pend.next_retx <= now:
-                if pend.tx_count >= 1 + config.max_retx:
-                    self._give_up(pkt_id)
+            if nxt[idx] <= now:
+                if count >= max_tx:
+                    # Retiring only tombstones the row — no deque
+                    # mutation, so iterating on is safe.
+                    self._give_up(idx, pkt_id)
                     continue
-                chosen = pend
+                chosen = idx
                 break
-        if chosen is not None:
+        if chosen >= 0:
             self._transmit(chosen)
         self._arm_retx_timer()
 
-    def _transmit(self, pend):
+    def _transmit(self, idx):
         now = self.ctx.sim.now
         dst = self.dst_provider()
         if dst is None:
             return
         tx_id = self.ctx.next_tx_id()
-        packet = pend.packet
+        packet = self._pkt[idx]
         packet.dst = dst
         packet.tx_id = tx_id
-        packet.is_retransmission = pend.tx_count > 0
-        pend.tx_times[tx_id] = now
-        pend.tx_count += 1
-        pend.next_retx = now + self.node.retx_timer.timeout()
-        heapq.heappush(self._retx_heap, (pend.next_retx, packet.pkt_id))
+        count = self._txc[idx]
+        packet.is_retransmission = count > 0
+        txi = self._txi[idx]
+        if txi is None:
+            txi = self._txi[idx] = []
+            self._txt[idx] = []
+        txi.append(tx_id)
+        self._txt[idx].append(now)
+        self._txc[idx] = count + 1
+        wake = now + self.node.retx_timer.timeout()
+        self._nxt[idx] = wake
+        heapq.heappush(self._retx_heap, (wake, packet.pkt_id))
         aux = self.node.current_aux_snapshot()
         self.ctx.stats.on_source_tx(
             tx_id=tx_id,
@@ -340,14 +490,47 @@ class LinkSender:
         self.ctx.medium.send(self.node.node_id, packet,
                              unicast_to=unicast_to)
 
-    def _give_up(self, pkt_id):
-        pend = self.pending.pop(pkt_id, None)
-        if pkt_id in self.queue:
-            self.queue.remove(pkt_id)
-        if pend is not None:
-            self.given_up += 1
-            self._retired[pkt_id] = pend
-            self.ctx.stats.on_give_up((self.node.node_id, pkt_id))
+    def _give_up(self, idx, pkt_id):
+        self._retired[pkt_id] = (self._pkt[idx], self._arr[idx])
+        self._tombstone(idx)
+        self.given_up += 1
+        self.ctx.stats.on_give_up((self.node.node_id, pkt_id))
+
+    def _tombstone(self, idx):
+        """Mark a row dead, dropping its object references."""
+        self._st[idx] = _GONE
+        self._pkt[idx] = None
+        self._txi[idx] = None
+        self._txt[idx] = None
+        self._live -= 1
+        # Compaction is deferred to the next pump(): callers cache the
+        # column lists and base offset across a batch of completions.
+        self._done_since_compact += 1
+
+    def _compact(self):
+        """Slice the dead row prefix off every column.
+
+        Rows complete roughly in pkt_id order (FIFO service, bounded
+        retransmission lifetimes), so the prefix covers almost all
+        tombstones; running it every 4096 completions keeps the scan
+        amortized O(1) per packet.
+        """
+        st = self._st
+        n = len(st)
+        k = 0
+        while k < n and st[k] == _GONE:
+            k += 1
+        if k == 0:
+            return
+        del st[:k]
+        del self._pkt[:k]
+        del self._enq[:k]
+        del self._arr[:k]
+        del self._txi[:k]
+        del self._txt[:k]
+        del self._txc[:k]
+        del self._nxt[:k]
+        self._base += k
 
     def _arm_retx_timer(self):
         """Keep one timer armed at the earliest retransmission time.
@@ -359,12 +542,13 @@ class LinkSender:
         pending packets — the same wake time the old full scan found.
         """
         heap = self._retx_heap
-        pending = self.pending
+        st = self._st
+        base = self._base
         while heap:
             wake_at, pkt_id = heap[0]
-            pend = pending.get(pkt_id)
-            if pend is not None and not pend.acked and pend.tx_count > 0 \
-                    and pend.next_retx == wake_at:
+            idx = pkt_id - base
+            if idx >= 0 and st[idx] == _PENDING \
+                    and self._txc[idx] > 0 and self._nxt[idx] == wake_at:
                 break
             heapq.heappop(heap)
         event = self._retx_event
@@ -384,33 +568,34 @@ class LinkSender:
     def on_ack(self, ack):
         """Process an ack addressed to this sender."""
         now = self.ctx.sim.now
-        pend = self.pending.get(ack.pkt_id)
-        if pend is not None and not pend.acked:
-            tx_time = pend.tx_times.get(ack.tx_id)
-            if tx_time is not None:
+        st = self._st
+        base = self._base
+        n = len(st)
+        pkt_id = ack.pkt_id
+        idx = pkt_id - base
+        if 0 <= idx < n and st[idx] == _PENDING:
+            txi = self._txi[idx]
+            if txi is not None and ack.tx_id in txi:
+                tx_time = self._txt[idx][txi.index(ack.tx_id)]
                 self.node.retx_timer.add_sample(now - tx_time)
-            self._complete(ack.pkt_id)
+            self._complete(idx, pkt_id)
         # Bitmap: ids in the 8-slot window NOT flagged missing were
         # received; retire them without a delay sample.
-        missing = set(ack.missing_ids())
+        bitmap = ack.missing_bitmap
         for k in range(8):
-            candidate = ack.pkt_id - 1 - k
-            if candidate < 0 or candidate in missing:
+            candidate = pkt_id - 1 - k
+            if candidate < 0 or bitmap & (1 << k):
                 continue
-            earlier = self.pending.get(candidate)
-            if earlier is not None and not earlier.acked \
-                    and earlier.tx_count > 0:
-                self._complete(candidate)
+            cidx = candidate - base
+            if 0 <= cidx < n and st[cidx] == _PENDING \
+                    and self._txc[cidx] > 0:
+                self._complete(cidx, candidate)
         self.pump()
 
-    def _complete(self, pkt_id):
-        pend = self.pending.pop(pkt_id, None)
-        self._retired.pop(pkt_id, None)
-        if pkt_id in self.queue:
-            self.queue.remove(pkt_id)
-        if pend is not None:
-            self.delivered_acks += 1
-            self.ctx.stats.on_src_ack((self.node.node_id, pkt_id))
+    def _complete(self, idx, pkt_id):
+        self._tombstone(idx)
+        self.delivered_acks += 1
+        self.ctx.stats.on_src_ack((self.node.node_id, pkt_id))
 
     # -- salvaging support ----------------------------------------------
 
@@ -426,17 +611,22 @@ class LinkSender:
         """
         now = self.ctx.sim.now
         harvest = []
-        for pkt_id in list(self.queue):
-            pend = self.pending.get(pkt_id)
-            if pend is None or pend.acked:
-                continue
-            if now - pend.arrival_at <= age_s:
-                harvest.append(pend.packet)
-                self.pending.pop(pkt_id, None)
-                self.queue.remove(pkt_id)
-        for pkt_id, pend in list(self._retired.items()):
-            if now - pend.arrival_at <= age_s:
-                harvest.append(pend.packet)
+        st = self._st
+        base = self._base
+        kept = deque()
+        for pkt_id in self.queue:
+            idx = pkt_id - base
+            if idx < 0 or st[idx] != _PENDING:
+                continue  # tombstone: dropped while rebuilding anyway
+            if now - self._arr[idx] <= age_s:
+                harvest.append(self._pkt[idx])
+                self._tombstone(idx)
+            else:
+                kept.append(pkt_id)
+        self.queue = kept
+        for pkt_id, (packet, arrival_at) in list(self._retired.items()):
+            if now - arrival_at <= age_s:
+                harvest.append(packet)
             del self._retired[pkt_id]
         harvest.sort(key=lambda p: p.pkt_id)
         return harvest
@@ -737,9 +927,10 @@ class BasestationNode(_NodeBase):
             self, Direction.DOWNSTREAM, dst_provider=lambda: self.vehicle_id
         )
         self._receiver_states = {}
-        self._relay_store = {}
-        self._relay_considered = {}
-        self._relay_suppressed = {}
+        # All overhear / suppression / pending-relay-decision state
+        # lives in one ring-structured bank (see _PacketBank); bounded
+        # by construction, so no pruning timer is needed.
+        self._packets = _PacketBank()
         self._relay_rng = ctx.rngs.stream("relay-coin", node_id)
         # The "small window" of protocol step 3 is adaptive: the BS
         # tracks the gap between overhearing a data packet and
@@ -750,16 +941,7 @@ class BasestationNode(_NodeBase):
         # positives), while a fixed long window would delay relays that
         # interactive traffic needs.
         self._ack_gap = ctx.make_relay_window_timer()
-        # First-overhear times for *all* recently overheard data keys,
-        # kept independently of the relay store so ack-gap samples are
-        # not survivorship-biased toward acks that beat the current
-        # window.
-        self._data_heard_at = {}
-        self._prune_countdown = self._PRUNE_EVERY_S
         self.forwarded_upstream = []
-
-    #: Seconds between relay-memory pruning scans.
-    _PRUNE_EVERY_S = 4
 
     # -- designation tracking (from vehicle beacons) -------------------------
 
@@ -803,13 +985,6 @@ class BasestationNode(_NodeBase):
             silent = self.ctx.sim.now - self.last_vehicle_beacon
             if silent > config.anchor_belief_timeout:
                 self.is_anchor = False
-        # Pruning scans the full relay tables; against a 30 s horizon a
-        # multi-second cadence reclaims the same memory at a quarter of
-        # the scan cost.
-        self._prune_countdown -= 1
-        if self._prune_countdown <= 0:
-            self._prune_countdown = self._PRUNE_EVERY_S
-            self._prune_relay_memory()
 
     def can_send_data(self):
         return self.is_anchor and self.vehicle_id is not None
@@ -863,12 +1038,18 @@ class BasestationNode(_NodeBase):
 
     def _overhear_as_auxiliary(self, packet):
         now = self.ctx.sim.now
-        key = (packet.src, packet.pkt_id)
-        # Ack-gap sampling measures from the *latest* overheard copy
-        # (original, retransmission or relay): every copy triggers a
-        # fresh ack at the destination, and the window must model
-        # per-copy ack latency, not retransmission round trips.
-        self._data_heard_at[key] = now
+        ring = self._packets.ring(packet.src)
+        row = ring.claim(packet.pkt_id)
+        flags = 0
+        if row >= 0:
+            # Ack-gap sampling measures from the *latest* overheard
+            # copy (original, retransmission or relay): every copy
+            # triggers a fresh ack at the destination, and the window
+            # must model per-copy ack latency, not retransmission
+            # round trips.
+            flags = ring.flags[row] | _HEARD
+            ring.flags[row] = flags
+            ring.heard[row] = now
         if packet.relayed_by is not None:
             return  # never relay a relay
         if self.node_id in self.known_aux:
@@ -880,31 +1061,36 @@ class BasestationNode(_NodeBase):
             return
         if {packet.src, packet.dst} != {vehicle, anchor}:
             return  # not part of the vehicle's current conversation
+        if row < 0:
+            return  # ancient duplicate, far outside every relay horizon
         # "A packet is considered for relaying only once" — per
         # overheard transmission copy: a source retransmission is a
         # fresh copy and earns a fresh decision, but the same copy
         # never re-enters the pipeline.  Packets whose acks were
         # overheard stay suppressed whatever copy arrives.
-        if key in self._relay_suppressed:
+        if flags & _SUPPRESSED:
             return
-        copy_key = (packet.src, packet.pkt_id, packet.tx_id)
-        if copy_key in self._relay_considered:
+        considered = ring.considered[row]
+        if considered is not None and packet.tx_id in considered:
             return
-        if key in self._relay_store:
+        if flags & _STORED:
             # A decision is already pending; refresh to the newest copy
             # so the relay (and its attribution) reflect the latest
-            # transmission.
-            _, heard_at = self._relay_store[key]
-            self._relay_store[key] = (packet, heard_at)
+            # transmission.  The decision clock (stored_at) keeps
+            # running from the first stored copy.
+            ring.pkt[row] = packet
             return
         config = self.ctx.config
         delay = self._ack_window() + float(
             self._relay_rng.uniform(0.0, config.relay_timer_interval)
         )
-        self._relay_store[key] = (packet, now)
+        ring.flags[row] = flags | _STORED
+        ring.pkt[row] = packet
+        ring.stored_at[row] = now
         # Relay decisions are never cancelled (suppression is checked
         # when the timer fires), so the handle-free event suffices.
-        self.ctx.sim.schedule_fire(delay, self._relay_decision, key)
+        self.ctx.sim.schedule_fire(delay, self._relay_decision,
+                                   (packet.src, packet.pkt_id))
 
     def _ack_window(self):
         """Current ack-wait window: clamped multiple of the median gap."""
@@ -914,40 +1100,50 @@ class BasestationNode(_NodeBase):
                    config.relay_max_window)
 
     def on_ack_frame(self, ack):
-        key = (ack.for_src, ack.pkt_id)
         if ack.for_src == self.node_id:
             self.downstream.on_ack(ack)
             return
         # Overheard ack: suppress relaying of this packet and of any
         # earlier packet the bitmap reports as received.
         now = self.ctx.sim.now
-        heard_at = self._data_heard_at.pop(key, None)
-        if heard_at is not None:
-            self._ack_gap.add_sample(now - heard_at)
-        if heard_at is not None or self.node_id in self.known_aux:
-            self.ctx.stats.on_aux_heard_ack(key, self.node_id)
-        self._suppress(key, now)
+        pkt_id = ack.pkt_id
+        ring = self._packets.ring(ack.for_src)
+        row = ring.claim(pkt_id)
+        heard = False
+        if row >= 0:
+            flags = ring.flags[row]
+            if flags & _HEARD:
+                heard = True
+                self._ack_gap.add_sample(now - ring.heard[row])
+            ring.flags[row] = (flags | _SUPPRESSED) & ~(_HEARD | _STORED)
+            ring.pkt[row] = None
+        if heard or self.node_id in self.known_aux:
+            self.ctx.stats.on_aux_heard_ack((ack.for_src, pkt_id),
+                                            self.node_id)
         bitmap = ack.missing_bitmap
-        for_src = ack.for_src
-        suppressed = self._relay_suppressed
-        store = self._relay_store
+        flags_col = ring.flags
+        pkt_col = ring.pkt
         for k in range(8):
-            candidate = ack.pkt_id - 1 - k
+            candidate = pkt_id - 1 - k
             if candidate >= 0 and not bitmap & (1 << k):
-                earlier = (for_src, candidate)
-                suppressed[earlier] = now
-                store.pop(earlier, None)
-
-    def _suppress(self, key, now):
-        self._relay_suppressed[key] = now
-        self._relay_store.pop(key, None)
+                crow = ring.claim(candidate)
+                if crow >= 0:
+                    # Bitmap suppression retires the relay candidate
+                    # but keeps the overhear time: a direct ack for
+                    # the older packet may still want a gap sample.
+                    flags_col[crow] = (flags_col[crow] | _SUPPRESSED) \
+                        & ~_STORED
+                    pkt_col[crow] = None
 
     def _relay_decision(self, key):
         """Timer fired: decide once whether to relay the stored packet."""
-        entry = self._relay_store.get(key)
-        if entry is None:
+        src, pkt_id = key
+        ring = self._packets.ring(src)
+        row = ring.probe(pkt_id)
+        if row < 0 or not ring.flags[row] & _STORED:
             return  # suppressed by an overheard ack
-        packet, heard_at = entry
+        packet = ring.pkt[row]
+        heard_at = ring.stored_at[row]
         now = self.ctx.sim.now
         config = self.ctx.config
         # The adaptive window may have grown since this decision was
@@ -961,10 +1157,12 @@ class BasestationNode(_NodeBase):
                 self._relay_decision, key,
             )
             return
-        del self._relay_store[key]
-        self._relay_considered[
-            (packet.src, packet.pkt_id, packet.tx_id)
-        ] = now
+        ring.flags[row] &= ~_STORED
+        ring.pkt[row] = None
+        considered = ring.considered[row]
+        if considered is None:
+            considered = ring.considered[row] = []
+        considered.append(packet.tx_id)
         if not self.is_designated_aux():
             return
         ctx = self.ctx
@@ -1002,17 +1200,6 @@ class BasestationNode(_NodeBase):
                 )
         else:
             ctx.medium.send(self.node_id, copy)
-
-    def _prune_relay_memory(self, horizon_s=30.0):
-        now = self.ctx.sim.now
-        for table in (self._relay_considered, self._relay_suppressed):
-            stale = [k for k, ts in table.items() if now - ts > horizon_s]
-            for k in stale:
-                del table[k]
-        stale = [k for k, ts in self._data_heard_at.items()
-                 if now - ts > 5.0]
-        for k in stale:
-            del self._data_heard_at[k]
 
     # -- salvaging (Section 4.5) ------------------------------------------------
 

@@ -95,6 +95,21 @@ class ViFiConfig:
     # per-frame sends bitwise.
     medium_slot_batch: bool = True
 
+    # Interval-level outcome pre-draw: at a transmitter's first
+    # resolve inside a beacon interval the medium commits every
+    # receiver row's loss thresholds for the rest of the interval
+    # (bucket-centre banks make them pure functions of link and time
+    # bucket) and pre-draws the interval's uniforms in one RNG call;
+    # later resolves in the interval are a bucket lookup plus a
+    # pre-sliced vector compare.  Intervals a loss process cannot
+    # commit to (pending burst flip, trace-second edge, callable
+    # steering target) fall back per frame for that interval only.
+    # False keeps the PR 5 per-frame refresh/draw order verbatim
+    # (digest-anchored); True changes the realization (same per-link
+    # marginals, fresh uniforms per interval) the way the batched-
+    # outcome and bucket-centre knobs did in earlier PRs.
+    medium_interval_predraw: bool = True
+
     # Anchor / auxiliary designation (Section 4.3).
     anchor_hysteresis: float = 0.15
     min_anchor_quality: float = 0.05
@@ -339,6 +354,8 @@ class ViFiSimulation:
             kernel=self.config.medium_kernel,
             csma=self.config.medium_csma,
             slot_batch=self.config.medium_slot_batch,
+            interval_predraw=self.config.medium_interval_predraw,
+            predraw_interval_s=self.config.beacon_interval,
         )
         self.backplane = Backplane(
             self.sim,

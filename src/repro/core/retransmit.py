@@ -11,6 +11,7 @@ conditions change rather than retransmitting spuriously."
 """
 
 import bisect
+from collections import deque
 
 __all__ = ["AdaptiveRetxTimer"]
 
@@ -41,7 +42,7 @@ class AdaptiveRetxTimer:
         self.percentile = float(percentile)
         self.window = int(window)
         self._sorted = []
-        self._fifo = []
+        self._fifo = deque()
 
     def add_sample(self, delay_s):
         """Record one observed transmission-to-ack delay."""
@@ -51,7 +52,7 @@ class AdaptiveRetxTimer:
         self._fifo.append(delay_s)
         bisect.insort(self._sorted, delay_s)
         if len(self._fifo) > self.window:
-            oldest = self._fifo.pop(0)
+            oldest = self._fifo.popleft()
             index = bisect.bisect_left(self._sorted, oldest)
             self._sorted.pop(index)
 

@@ -67,6 +67,7 @@ __all__ = [
     "TARGET_PARALLEL_SPEEDUP",
     "WORKLOADS",
     "git_sha",
+    "host_context",
     "profile_workload",
     "run_perf_suite",
     "run_trip_scaling",
@@ -135,6 +136,37 @@ _BUILDERS = {
 }
 
 
+def host_context():
+    """Host-state snapshot recorded alongside every measurement.
+
+    Perf numbers from shared runners are meaningless without knowing
+    how loaded the box was and which interpreter produced them; these
+    fields make a committed ``BENCH_perf.json`` (and any ad-hoc bench
+    record) self-describing:
+
+    * ``cpu_count`` — logical CPUs visible to the process;
+    * ``loadavg_1m`` — 1-minute load average at measurement time
+      (``None`` where the platform has no ``getloadavg``), the
+      contention signal to read a surprising delta against;
+    * ``python`` / ``numpy`` — interpreter and array-library versions.
+    """
+    import os
+    import platform
+
+    import numpy
+
+    try:
+        loadavg = round(os.getloadavg()[0], 2)
+    except (AttributeError, OSError):
+        loadavg = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "loadavg_1m": loadavg,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+    }
+
+
 def git_sha():
     """Short commit hash of the working tree, or ``"unknown"``."""
     try:
@@ -165,6 +197,8 @@ def run_workload(name):
     estimator mode the workload ran under and ``estimator_fold_s``
     the wall spent inside the array bank's per-second vectorized
     folds (0.0 in dict mode, whose folds run inside per-node events).
+    ``host`` snapshots the machine condition (:func:`host_context`)
+    so a surprising rate is attributable to load, not guessed at.
     """
     if name not in _BUILDERS:
         raise KeyError(f"unknown workload {name!r}; have {WORKLOADS}")
@@ -204,6 +238,7 @@ def run_workload(name):
             getattr(estimator_bank, "fold_wall_s", 0.0), 4
         ),
         "git_sha": git_sha(),
+        "host": host_context(),
     }
     baseline_rate = BASELINE_SIM_RATE.get(name)
     if baseline_rate:

@@ -892,3 +892,41 @@ class LinkBank:
         if key != self._key:
             self._load_bucket(key, t)
         return self._prob_list[index]
+
+    def prob_span(self, index, k0, k1):
+        """Reception probabilities of link *index*, buckets *k0*..*k1*.
+
+        Centre-sampled buckets are pure functions of ``(links,
+        quantum, bucket)`` — chunks are computed through the same
+        :meth:`_fill_chunk` pipeline whether read lazily, prefilled,
+        or span-read here — so reading a span *ahead of time* yields
+        exactly the values future :meth:`prob_at` calls will see.
+        This is what lets the medium's interval pre-draw plane commit
+        to a whole beacon interval's thresholds up front.
+
+        Returns a read-only float64 vector of length ``k1 - k0 + 1``
+        (possibly a view into the chunk store — do not mutate), or
+        ``None`` under first-query sampling, whose bucket values
+        depend on query times and cannot be read ahead.
+        """
+        if self.sampling != "centre" or self.quantum <= 0.0 or k0 < 0:
+            return None
+        size = self._CHUNK
+        chunks = self._chunks
+        c0 = k0 // size
+        c1 = k1 // size
+        if c0 == c1:
+            data = chunks.get(c0)
+            if data is None:
+                data = self._fill_chunk(c0)
+            base = c0 * size
+            return data[1][index, k0 - base:k1 - base + 1]
+        parts = []
+        for chunk in range(c0, c1 + 1):
+            data = chunks.get(chunk)
+            if data is None:
+                data = self._fill_chunk(chunk)
+            lo = k0 - chunk * size if chunk == c0 else 0
+            hi = k1 - chunk * size + 1 if chunk == c1 else size
+            parts.append(data[1][index, lo:hi])
+        return np.concatenate(parts)

@@ -64,3 +64,22 @@ def test_invalid_parameters_rejected():
         AdaptiveRetxTimer(percentile=0.0)
     with pytest.raises(ValueError):
         AdaptiveRetxTimer(window=0)
+
+
+def test_eviction_is_constant_time_per_sample():
+    """PR 6 satellite: the sample FIFO is a deque, not a list.
+
+    The old list-backed FIFO paid ``pop(0)`` — an O(window) shift —
+    per evicted sample, which under a saturated sender (thousands of
+    acks per trip) turned ingestion quadratic.  A deque pops from the
+    left in O(1); this pins the structure and exercises a large
+    eviction run to completion.
+    """
+    from collections import deque
+
+    timer = AdaptiveRetxTimer(window=500)
+    assert isinstance(timer._fifo, deque)
+    for i in range(5000):
+        timer.add_sample(0.001 * (i % 97))
+    assert timer.sample_count == 500
+    assert timer.timeout() >= timer.floor

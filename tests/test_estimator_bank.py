@@ -373,9 +373,15 @@ class TestBoundedPeerState:
 class TestFullTripEquivalence:
     @pytest.mark.slow
     def test_dict_mode_reproduces_pr4_committed_realization(self):
-        """``estimator="dict"`` == the PR 4 run, digest-anchored."""
-        sim, sig = _signature(ViFiConfig(estimator="dict"),
-                              duration_s=120.0)
+        """``estimator="dict"`` == the PR 4 run, digest-anchored.
+
+        ``medium_interval_predraw=False`` joined the legacy-knob set
+        in PR 6 (the pre-draw plane reorders outcome-stream draws).
+        """
+        sim, sig = _signature(
+            ViFiConfig(estimator="dict",
+                       medium_interval_predraw=False),
+            duration_s=120.0)
         assert sim.sim.events_processed == PR4_ANCHOR_EVENTS
         assert _digest(sig) == PR4_ANCHOR_DIGEST
 

@@ -25,6 +25,8 @@ on:
   computation bit for bit.
 """
 
+import hashlib
+import json
 import math
 import random
 
@@ -68,20 +70,32 @@ def _protocol_signature(config, duration_s=30.0, seed=0):
 # ----------------------------------------------------------------------
 
 class TestArrayKernelBitwise:
+    # Kernel equality is scoped to ``medium_interval_predraw=False``:
+    # the interval pre-draw plane only exists on the array kernel, so
+    # with it on the two kernels consume the outcome stream in
+    # different orders (deliberately — PERFORMANCE.md "PR 6").
     def test_short_run_bitwise_identical(self):
         """kernel="array" == kernel="scalar" on a 30 s protocol run."""
-        scalar = _protocol_signature(ViFiConfig(medium_kernel="scalar"))
-        array = _protocol_signature(ViFiConfig(medium_kernel="array"))
+        scalar = _protocol_signature(
+            ViFiConfig(medium_kernel="scalar",
+                       medium_interval_predraw=False))
+        array = _protocol_signature(
+            ViFiConfig(medium_kernel="array",
+                       medium_interval_predraw=False))
         assert array == scalar
         assert len(scalar["up"]) + len(scalar["down"]) > 50
 
     @pytest.mark.slow
     def test_full_trip_bitwise_identical(self):
         """The same equality over the full 120 s pinned workload."""
-        scalar = _protocol_signature(ViFiConfig(medium_kernel="scalar"),
-                                     duration_s=120.0)
-        array = _protocol_signature(ViFiConfig(medium_kernel="array"),
-                                    duration_s=120.0)
+        scalar = _protocol_signature(
+            ViFiConfig(medium_kernel="scalar",
+                       medium_interval_predraw=False),
+            duration_s=120.0)
+        array = _protocol_signature(
+            ViFiConfig(medium_kernel="array",
+                       medium_interval_predraw=False),
+            duration_s=120.0)
         assert array == scalar
         assert len(scalar["up"]) + len(scalar["down"]) > 400
 
@@ -89,11 +103,13 @@ class TestArrayKernelBitwise:
     def test_full_trip_bitwise_identical_under_defer_csma(self):
         """Kernel equality is independent of the CSMA model."""
         scalar = _protocol_signature(
-            ViFiConfig(medium_kernel="scalar", medium_csma="defer"),
+            ViFiConfig(medium_kernel="scalar", medium_csma="defer",
+                       medium_interval_predraw=False),
             duration_s=60.0,
         )
         array = _protocol_signature(
-            ViFiConfig(medium_kernel="array", medium_csma="defer"),
+            ViFiConfig(medium_kernel="array", medium_csma="defer",
+                       medium_interval_predraw=False),
             duration_s=60.0,
         )
         assert array == scalar
@@ -161,7 +177,8 @@ class TestArrayKernelBitwise:
             table.set_link(1, 0, BernoulliLoss(0.3, rngs.stream("b")))
             table.set_link(1, 2, BernoulliLoss(0.2, rngs.stream("d")))
             medium = WirelessMedium(sim, table, rngs.stream("m"),
-                                    kernel=kernel, outcome_batch=8)
+                                    kernel=kernel, outcome_batch=8,
+                                    interval_predraw=False)
 
             class _Node:
                 def __init__(self, node_id):
@@ -685,3 +702,278 @@ class TestDefaultConfigSanity:
         )
         assert sig["defers"] > 0
         assert len(sig["up"]) + len(sig["down"]) > 50
+
+
+# ----------------------------------------------------------------------
+# Interval-level outcome pre-draw (PR 6)
+# ----------------------------------------------------------------------
+
+#: Digest of the PR 5 committed realization of the pinned 120 s VanLAN
+#: CBR workload (trip 0, every seed 0, stock PR 5 config), captured at
+#: commit 96f789b before the PR 6 changes landed.
+#: ``medium_interval_predraw=False`` must keep reproducing it bit for
+#: bit.
+PR5_ANCHOR_EVENTS = 36354
+PR5_ANCHOR_DIGEST = \
+    "74aae3e14cdcd8f2073a73dc43be4a5b554a8679c203e6c45474def052efcae6"
+
+
+def _anchor_digest(sig):
+    payload = json.dumps(
+        {key: sig[key] for key in ("up", "down", "tx", "delivered")},
+        sort_keys=True, default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class _PlannedLoss:
+    """Duck-typed bucketed loss process with a committable span.
+
+    eps is a pure function of the bucket index (so reuse can never
+    change an outcome), and the process "flips" at fixed multiples of
+    ``flip_every``: windows and spans commit only up to the next flip,
+    mimicking :class:`SteeredGilbertElliott`'s horizon cap.
+    """
+
+    def __init__(self, quantum=0.02, flip_every=math.inf, salt=0):
+        self.quantum = quantum
+        self.flip_every = flip_every
+        self.salt = salt
+
+    def _eps(self, key):
+        return ((key * 37 + self.salt * 11) % 89) / 100.0
+
+    def _next_flip(self, t):
+        if self.flip_every is math.inf:
+            return math.inf
+        return (math.floor(t / self.flip_every) + 1.0) * self.flip_every
+
+    def loss_rate(self, t):
+        return self._eps(int(t / self.quantum))
+
+    def is_lost(self, t):
+        return False  # scalar path unused by these tests
+
+    def loss_eps(self, t):
+        return self._eps(int(t / self.quantum))
+
+    def loss_eps_window(self, t):
+        key = int(t / self.quantum)
+        bound = (key + 1.0) * self.quantum
+        flip = self._next_flip(t)
+        return self._eps(key), (bound if bound < flip else flip)
+
+    def loss_eps_span(self, t0, t1):
+        hi = self._next_flip(t0)
+        if t1 < hi:
+            hi = t1
+        if hi <= t0:
+            return None
+        quantum = self.quantum
+        k0 = int(t0 / quantum)
+        k1 = int(hi / quantum)
+        eps = [self._eps(k) for k in range(k0, k1 + 1)]
+        return eps, quantum, k0, hi
+
+
+class _RxSink:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+
+    def on_receive(self, frame, transmitter_id):
+        self.received.append((frame.pkt_id, transmitter_id))
+
+
+class TestIntervalPredraw:
+    """Boundary behaviour of the pre-draw plane (PR 6 tentpole a)."""
+
+    def _medium(self, n_rx=2, quantum=0.02, flip_every=math.inf,
+                n_tx=1, **kwargs):
+        sim = Simulator()
+        rngs = RngRegistry(5)
+        table = LinkTable()
+        for tx in range(n_tx):
+            for rx in range(n_tx, n_tx + n_rx):
+                table.set_link(tx, rx, _PlannedLoss(
+                    quantum=quantum, flip_every=flip_every,
+                    salt=tx * 10 + rx))
+        medium = WirelessMedium(sim, table, rngs.stream("m"),
+                                outcome_rng=rngs.stream("o"),
+                                kernel="array", backoff_slots=0,
+                                predraw_interval_s=0.1, **kwargs)
+        nodes = [_RxSink(i) for i in range(n_tx + n_rx)]
+        for node in nodes:
+            medium.attach(node)
+        return sim, medium, nodes
+
+    @staticmethod
+    def _frame(pkt_id, src=0):
+        return DataPacket(pkt_id=pkt_id, src=src, dst=1,
+                          direction=Direction.UPSTREAM, size_bytes=50)
+
+    def test_plans_arm_on_the_second_resolve_of_an_interval(self):
+        """Frame 1 falls back and arms; frame 2 establishes a plan."""
+        sim, medium, _ = self._medium()
+        for k in range(4):
+            sim.schedule(0.01 + 0.02 * k, medium.send, 0,
+                         self._frame(k))
+        sim.run(until=0.099)
+        assert medium.predraw_plans == 1
+        assert medium.predraw_fallback_frames == 1
+        assert medium.predraw_planned_frames == 3
+        assert medium.predraw_failed_plans == 0
+
+    def test_single_frame_intervals_never_plan(self):
+        """One resolve per interval stays on the per-slot fallback —
+        pre-drawing 5 frames of uniforms for it would be waste."""
+        sim, medium, _ = self._medium()
+        for k in range(5):
+            sim.schedule(0.01 + 0.1 * k, medium.send, 0, self._frame(k))
+        sim.run(until=0.6)
+        assert medium.predraw_plans == 0
+        assert medium.predraw_planned_frames == 0
+        assert medium.predraw_fallback_frames == 5
+
+    def test_flip_inside_interval_splits_the_plan(self):
+        """A commitment horizon shorter than the interval forces
+        re-establishment mid-interval, never a stale threshold."""
+        sim, medium, nodes = self._medium(flip_every=0.03)
+        for k in range(5):
+            sim.schedule(0.01 + 0.02 * k, medium.send, 0,
+                         self._frame(k))
+        sim.run(until=0.12)
+        # Frame 0 arms; frame 1 plans up to the 0.06 flip; frame 3
+        # (t=0.07) re-plans up to 0.09; frame 4 (t=0.09) re-plans to
+        # the interval edge.
+        assert medium.predraw_plans == 3
+        assert medium.predraw_fallback_frames == 1
+        assert medium.predraw_planned_frames == 4
+        # Flip-capped horizons are commitments, not failures.
+        assert medium.predraw_failed_plans == 0
+
+    def test_partial_interval_at_run_end(self):
+        """A plan reaching past the end of the run is harmless."""
+        sim, medium, nodes = self._medium()
+        for k in range(3):
+            sim.schedule(0.01 + 0.015 * k, medium.send, 0,
+                         self._frame(k))
+        sim.run(until=0.05)  # stop mid-interval, plan alive to 0.1
+        assert medium.predraw_plans == 1
+        assert medium.predraw_planned_frames == 2
+        total = sum(len(n.received) for n in nodes)
+        assert total == sum(
+            count for (_, kind), count in medium.delivered_count.items()
+        )
+
+    def test_mid_interval_contention_keeps_accounting_total(self):
+        """Contending transmitters resolve through their own plans;
+        every resolved frame is either planned or fallback."""
+        sim, medium, nodes = self._medium(n_tx=2, n_rx=2)
+        for k in range(6):
+            at = 0.01 + 0.012 * k
+            sim.schedule(at, medium.send, 0, self._frame(100 + k, 0))
+            sim.schedule(at, medium.send, 1, self._frame(200 + k, 1))
+        sim.run(until=0.3)
+        resolved = medium.predraw_planned_frames \
+            + medium.predraw_fallback_frames
+        sent = sum(medium.tx_count.values())
+        assert sent == 12
+        assert resolved == sent
+        assert medium.predraw_plans >= 1
+        # Both contenders delivered traffic through the plane.
+        delivered = {src for (_, src) in
+                     {(pkt, tx) for n in nodes for (pkt, tx) in
+                      n.received}}
+        assert delivered == {0, 1}
+
+    def test_knob_off_medium_never_plans(self):
+        sim, medium, _ = self._medium(interval_predraw=False)
+        for k in range(4):
+            sim.schedule(0.01 + 0.02 * k, medium.send, 0,
+                         self._frame(k))
+        sim.run(until=0.099)
+        assert medium.predraw_plans == 0
+        assert medium.predraw_planned_frames == 0
+        assert medium.predraw_fallback_frames == 0
+
+    def test_refusing_process_parks_the_interval(self):
+        """A process that cannot commit past t0 fails the plan once,
+        then the whole interval rides the fallback path."""
+
+        class _NoSpan(_PlannedLoss):
+            def loss_eps_span(self, t0, t1):
+                return None
+
+        sim = Simulator()
+        rngs = RngRegistry(5)
+        table = LinkTable()
+        table.set_link(0, 1, _NoSpan(salt=1))
+        table.set_link(0, 2, _PlannedLoss(salt=2))
+        medium = WirelessMedium(sim, table, rngs.stream("m"),
+                                outcome_rng=rngs.stream("o"),
+                                kernel="array", backoff_slots=0,
+                                predraw_interval_s=0.1)
+        for node in (_RxSink(0), _RxSink(1), _RxSink(2)):
+            medium.attach(node)
+        for k in range(4):
+            sim.schedule(0.01 + 0.02 * k, medium.send, 0,
+                         self._frame(k))
+        sim.run(until=0.099)
+        assert medium.predraw_failed_plans == 1
+        assert medium.predraw_plans == 0
+        assert medium.predraw_planned_frames == 0
+        assert medium.predraw_fallback_frames == 4
+
+
+class TestPredrawProtocolRuns:
+    def test_default_run_exercises_the_plane(self):
+        """The stock protocol run plans most slot-batch frames."""
+        testbed = VanLanTestbed(seed=0)
+        sim, _ = vanlan_protocol(testbed, trip=0, seed=0,
+                                 config=ViFiConfig())
+        cbr = run_protocol_cbr(sim, 20.0)
+        medium = sim.medium
+        assert medium.predraw_plans > 50
+        assert medium.predraw_planned_frames > 200
+        delivered = len(cbr.up_deliveries) + len(cbr.down_deliveries)
+        assert delivered > 50
+
+    @pytest.mark.slow
+    def test_knob_off_reproduces_pr5_committed_realization(self):
+        """``medium_interval_predraw=False`` == the PR 5 run."""
+        testbed = VanLanTestbed(seed=0)
+        sim, _ = vanlan_protocol(
+            testbed, trip=0, seed=0,
+            config=ViFiConfig(medium_interval_predraw=False))
+        cbr = run_protocol_cbr(sim, 120.0)
+        sig = {
+            "up": sorted(cbr.up_deliveries.items()),
+            "down": sorted(cbr.down_deliveries.items()),
+            "tx": sorted(sim.medium.tx_count.items()),
+            "delivered": sorted(sim.medium.delivered_count.items()),
+        }
+        assert sim.sim.events_processed == PR5_ANCHOR_EVENTS
+        assert _anchor_digest(sig) == PR5_ANCHOR_DIGEST
+        assert sim.medium.predraw_plans == 0
+
+    @pytest.mark.slow
+    def test_default_predraw_distributional(self):
+        """Acceptance: the pre-drawn realization agrees with the
+        per-slot realization distributionally over a full trip."""
+        on = _protocol_signature(ViFiConfig(), duration_s=120.0)
+        off = _protocol_signature(
+            ViFiConfig(medium_interval_predraw=False),
+            duration_s=120.0)
+        on_beacons = sum(c for (_, kind), c in on["tx"]
+                         if kind == "beacon")
+        off_beacons = sum(c for (_, kind), c in off["tx"]
+                          if kind == "beacon")
+        # Beacon emission rides the nominal due chains, which the
+        # outcome plane never touches.
+        assert abs(on_beacons - off_beacons) <= 2
+        for key in ("up", "down"):
+            n_on = len(on[key])
+            n_off = len(off[key])
+            assert n_on > 400
+            assert abs(n_on - n_off) <= 0.05 * max(n_on, n_off)

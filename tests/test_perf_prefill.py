@@ -85,10 +85,14 @@ class TestFirstQueryLineage:
 
         ``estimator="dict"`` joined the legacy-knob set in PR 5 (the
         array bank is a different, distributionally-equivalent
-        realization — see ``tests/test_estimator_bank.py``).
+        realization — see ``tests/test_estimator_bank.py``), and
+        ``medium_interval_predraw=False`` joined it in PR 6 (the
+        interval pre-draw plane consumes the outcome stream in a
+        different order).
         """
         sim, sig = _signature(
-            ViFiConfig(medium_slot_batch=False, estimator="dict"),
+            ViFiConfig(medium_slot_batch=False, estimator="dict",
+                       medium_interval_predraw=False),
             sampling="first-query", prefill=False, duration_s=120.0,
         )
         assert sim.sim.events_processed == PR3_ANCHOR_EVENTS

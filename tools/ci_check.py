@@ -16,11 +16,17 @@ Runs, in order:
    equality and freeze-vs-defer protocol equivalence), the PR 4
    sampling-convention suite (``tests/test_perf_prefill.py`` — the
    first-query mode's full-trip bitwise anchor and the bucket-centre /
-   slot-batch distributional equivalences), and the PR 5 estimator
+   slot-batch distributional equivalences), the PR 5 estimator
    suite (``tests/test_estimator_bank.py`` — the dict mode's full-trip
    digest anchor to the PR 4 committed realization and the array
-   bank's distributional equivalence).  The stage fails if the slow
-   marker collects nothing, so a marker typo cannot silently skip the
+   bank's distributional equivalence), and the PR 6 pre-draw /
+   bookkeeping suites (``tests/test_perf_kernel.py`` — the
+   ``medium_interval_predraw=False`` full-trip digest anchor to the
+   PR 5 committed realization and the pre-drawn plane's
+   distributional equivalence; ``tests/test_packet_bank.py`` — the
+   ring/bitmap relay bookkeeping's long-schedule oracle equality
+   against the dict reference).  The stage fails if the slow marker
+   collects nothing, so a marker typo cannot silently skip the
    suite,
 3. the perf gate (``python -m repro bench --repeats 3`` via
    ``tools/perf_smoke.py``), which rewrites ``BENCH_perf.json`` and

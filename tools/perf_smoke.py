@@ -162,6 +162,14 @@ def print_report(results, committed, scaling=None):
         for entry in committed.get("workloads", [])
         if isinstance(entry, dict)
     }
+    host = next((record.get("host") for record in results
+                 if record.get("host")), None)
+    if host:
+        load = host.get("loadavg_1m")
+        print(f"host: {host.get('cpu_count')} cpus"
+              + (f", load {load}" if load is not None else "")
+              + f", python {host.get('python')}"
+              + f", numpy {host.get('numpy')}")
     for record in results:
         old = previous.get(record["workload"]) or {}
         deltas = []

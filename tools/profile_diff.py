@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Diff two cProfile ``.pstats`` dumps function by function.
+
+Usage::
+
+    python tools/profile_diff.py BEFORE.pstats AFTER.pstats
+        [--top N] [--sort tottime|cumtime] [--min-delta SECONDS]
+
+Perf PRs argue from residual profiles; eyeballing two ``print_stats``
+printouts side by side hides exactly the information that matters —
+which functions got slower, which got faster, and what appeared or
+disappeared.  This tool aligns the two dumps on the function key
+(``file:line(name)``), computes per-function deltas of total time
+(``tottime``: time in the function body alone) and cumulative time
+(``cumtime``: body plus callees), and prints the *top-N by absolute
+delta* so the biggest movers lead regardless of direction.
+
+Produce the inputs with the perf harness::
+
+    python -m repro bench --profile --profile-out /tmp/prof_before
+    # ... apply the change ...
+    python -m repro bench --profile --profile-out /tmp/prof_after
+    python tools/profile_diff.py /tmp/prof_before/vanlan_cbr_120s.pstats \
+        /tmp/prof_after/vanlan_cbr_120s.pstats
+
+Functions present in only one dump are shown with a ``+`` (new in
+AFTER) or ``-`` (gone in AFTER) marker: a rename or refactor moves a
+function's time to a new key, and both halves of the move matter.
+Caveat: cProfile inflates everything uniformly, so compare dumps
+captured the same way, on the same workload, ideally on the same
+quiet machine.
+"""
+
+import argparse
+import pathlib
+import pstats
+import sys
+
+
+def load_totals(path):
+    """``{key: (calls, tottime, cumtime)}`` for every function."""
+    stats = pstats.Stats(str(path))
+    totals = {}
+    for key, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():
+        totals[key] = (nc, tottime, cumtime)
+    return totals
+
+
+def format_key(key):
+    filename, line, name = key
+    filename = str(filename)
+    # Strip everything up to the package root for readability.
+    for marker in ("/src/", "/lib/"):
+        idx = filename.rfind(marker)
+        if idx >= 0:
+            filename = filename[idx + 1:]
+            break
+    else:
+        filename = pathlib.Path(filename).name
+    return f"{filename}:{line}({name})"
+
+
+def diff_rows(before, after):
+    """One row per function seen in either dump, keyed deltas."""
+    rows = []
+    for key in set(before) | set(after):
+        b_calls, b_tot, b_cum = before.get(key, (0, 0.0, 0.0))
+        a_calls, a_tot, a_cum = after.get(key, (0, 0.0, 0.0))
+        marker = " "
+        if key not in before:
+            marker = "+"
+        elif key not in after:
+            marker = "-"
+        rows.append({
+            "key": key,
+            "marker": marker,
+            "calls": (b_calls, a_calls),
+            "tottime": (b_tot, a_tot, a_tot - b_tot),
+            "cumtime": (b_cum, a_cum, a_cum - b_cum),
+        })
+    return rows
+
+
+def print_diff(rows, sort="tottime", top=25, min_delta=0.0,
+               stream=sys.stdout):
+    rows = [row for row in rows
+            if abs(row[sort][2]) >= min_delta]
+    rows.sort(key=lambda row: -abs(row[sort][2]))
+    total = sum(row[sort][2] for row in rows)
+    print(f"{'delta':>9s} {'before':>9s} {'after':>9s} "
+          f"{'calls b->a':>15s}  function  [{sort}]", file=stream)
+    for row in rows[:top]:
+        b, a, delta = row[sort]
+        b_calls, a_calls = row["calls"]
+        print(f"{delta:+9.3f} {b:9.3f} {a:9.3f} "
+              f"{b_calls:>7d}->{a_calls:<7d} "
+              f"{row['marker']}{format_key(row['key'])}", file=stream)
+    shown = min(top, len(rows))
+    print(f"-- {shown}/{len(rows)} functions shown; net {sort} "
+          f"delta across all {len(rows)}: {total:+.3f} s", file=stream)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("before", type=pathlib.Path,
+                        help="baseline .pstats dump")
+    parser.add_argument("after", type=pathlib.Path,
+                        help="candidate .pstats dump")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows to print (by |delta|)")
+    parser.add_argument("--sort", choices=("tottime", "cumtime"),
+                        default="tottime",
+                        help="which time delta ranks the rows")
+    parser.add_argument("--min-delta", type=float, default=0.0,
+                        help="hide rows with |delta| below this "
+                             "many seconds")
+    args = parser.parse_args(argv)
+    for path in (args.before, args.after):
+        if not path.exists():
+            parser.error(f"no such profile dump: {path}")
+    rows = diff_rows(load_totals(args.before), load_totals(args.after))
+    print_diff(rows, sort=args.sort, top=args.top,
+               min_delta=args.min_delta)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
