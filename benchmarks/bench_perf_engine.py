@@ -87,12 +87,15 @@ def test_perf_engine(benchmark, save_results):
     # The pinned workloads run the stock config, so they exercise the
     # array estimator bank and report its fold cost (PR 5), and every
     # record carries the host-state snapshot (PR 6) so committed
-    # numbers are attributable to a machine condition.
+    # numbers are attributable to a machine condition.  They always
+    # run the nominal world — no fault plane — and the record pins
+    # that (PR 7) so baselines cannot be confused with faulted runs.
     for record in results:
         assert record["estimator"] == "array"
         assert 0.0 <= record["estimator_fold_s"] < record["wall_s"]
         assert record["host"]["cpu_count"] >= 1
         assert record["host"]["python"]
+        assert record["faults"] == "none"
     # The tentpole acceptance bar: the sim-rate speedup targets on
     # both pinned single-process workloads against the seed baseline.
     assert vanlan["speedup_vs_baseline"] >= TARGET_SPEEDUP, (

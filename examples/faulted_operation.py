@@ -1,0 +1,55 @@
+"""Degraded infrastructure: ViFi vs hard handoff as basestations fail.
+
+Injects deterministic basestation radio outages (repro.sim.faults)
+into the synthetic VanLAN trip at rising intensity and compares ViFi
+against the BRR hard-handoff comparator on delivery and a summary VoIP
+MoS.  ViFi's auxiliary relaying keeps packets flowing through an
+anchor outage (the anchor's wired side survives its radio), so its
+delivery degrades far more gracefully — the availability story behind
+the paper's disruption-masking claim.
+
+Run:
+    python examples/faulted_operation.py [--seconds N] [--workers K]
+
+``--seconds`` caps the simulated duration per run (the test suite
+smoke-runs every example with a tiny cap).
+"""
+
+import argparse
+
+from repro.experiments.faulted import fault_intensity_sweep
+
+
+def main(seconds=None, workers=None):
+    duration = 60.0 if seconds is None else float(seconds)
+    intensities = (0.0, 1.0, 2.0)
+    print("Sweeping BS-outage intensity over one VanLAN trip "
+          f"({duration:.0f} s per run)...\n")
+    sweep = fault_intensity_sweep(intensities=intensities,
+                                  duration_s=duration, workers=workers)
+    print(f"{'intensity':>9s} {'ViFi deliv':>11s} {'BRR deliv':>10s} "
+          f"{'gap':>7s} {'ViFi MoS':>9s} {'BRR MoS':>8s}")
+    for intensity in intensities:
+        cells = sweep[intensity]
+        vifi, brr = cells["ViFi"], cells["BRR"]
+        gap = vifi["delivery"] - brr["delivery"]
+        print(f"{intensity:>9.1f} {vifi['delivery']:>10.1%} "
+              f"{brr['delivery']:>9.1%} {gap:>+7.1%} "
+              f"{vifi['mos']:>9.2f} {brr['mos']:>8.2f}")
+    print(
+        "\nEach intensity multiplies the per-BS outage rate; outages\n"
+        "kill a basestation's radio but not its wired backplane, so\n"
+        "ViFi's auxiliary relays keep masking what hard handoff\n"
+        "cannot.  The schedule is deterministic per seed — rerunning\n"
+        "reproduces these numbers exactly."
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="cap the simulated duration per run")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: all cores)")
+    args = parser.parse_args()
+    main(seconds=args.seconds, workers=args.workers)

@@ -78,6 +78,7 @@ class BeaconSlotter:
         self.sim = sim
         self.slot = float(slot_s)
         self.medium = medium
+        self.faults = None  # set by an installed FaultPlane
         self._heap = []  # (nominal due, seq, node)
         self._seq = itertools.count()
         self._next_fire_at = None
@@ -129,7 +130,10 @@ class BeaconSlotter:
             batch = []
             while heap and heap[0][0] <= now:
                 due, _, node = pop(heap)
-                batch.append((node.node_id, node._build_beacon()))
+                # Fault-suppressed emitters skip the batch but keep
+                # advancing (and drawing) their nominal due chain.
+                if not node._beacon_blocked():
+                    batch.append((node.node_id, node._build_beacon()))
                 push(heap, (node._next_beacon_due(due),
                             next(self._seq), node))
             if len(batch) == 1:
@@ -650,6 +654,12 @@ class _NodeBase:
         self.node_id = node_id
         self.ctx = ctx
         self._sim = ctx.sim  # hot-path alias: reception dispatch
+        # Fault plane (repro.sim.faults): a dead radio neither sends
+        # nor receives over the medium; the wired side stays alive.
+        # Both stay at their defaults for the whole run unless a
+        # FaultPlane is installed, so nominal runs are bitwise intact.
+        self.radio_down = False
+        self.faults = None
         config = ctx.config
         self.estimator = ctx.make_estimator(node_id)
         self._note_beacon = self.estimator.on_beacon
@@ -712,13 +722,26 @@ class _NodeBase:
         jitter = buf[i] * interval
         return due + max(interval + jitter, 1e-4)
 
+    def _beacon_blocked(self):
+        """Whether emission is fault-suppressed right now.
+
+        The due chain advances (and draws its jitter) regardless, so a
+        suppression window delays nothing in the nominal schedule.
+        """
+        faults = self.faults
+        return self.radio_down or (
+            faults is not None and faults.beacons_suppressed
+        )
+
     def _emit_beacon(self, due):
         """Slotter callback: send one beacon; return the next due."""
-        self._send_beacon()
+        if not self._beacon_blocked():
+            self._send_beacon()
         return self._next_beacon_due(due)
 
     def _beacon_tick(self):
-        self._send_beacon()
+        if not self._beacon_blocked():
+            self._send_beacon()
         next_due = self._next_beacon_due(self.ctx.sim.now)
         self.ctx.sim.schedule_fire(next_due - self.ctx.sim.now,
                                    self._beacon_tick)
@@ -752,6 +775,8 @@ class _NodeBase:
     # -- reception dispatch ----------------------------------------------
 
     def on_receive(self, frame, transmitter_id):
+        if self.radio_down:
+            return
         kind = frame.kind
         if kind is _BEACON:
             self._note_beacon(frame, self._sim.now)
@@ -782,6 +807,11 @@ class _NodeBase:
         raise NotImplementedError
 
     def _send_ack(self, packet, receiver_state):
+        if self.radio_down:
+            # A wired delivery can still reach a radio-dead destination
+            # (backplane relay); the ack is what the fault costs, so
+            # the source falls back to retransmitting.
+            return
         ack = Ack(
             pkt_id=packet.pkt_id,
             acker=self.node_id,
@@ -858,7 +888,7 @@ class VehicleNode(_NodeBase):
         beacon.prev_anchor_id = self.prev_anchor_id
 
     def can_send_data(self):
-        return self.anchor_id is not None
+        return self.anchor_id is not None and not self.radio_down
 
     def current_aux_snapshot(self):
         return tuple(b for b in self.aux_ids if b != self.anchor_id)
@@ -876,6 +906,8 @@ class VehicleNode(_NodeBase):
         # hook (designation tracking is the BS side), so beacon
         # receptions — the bulk of all receptions — reduce to the
         # estimator note.
+        if self.radio_down:
+            return
         kind = frame.kind
         if kind is _BEACON:
             self._note_beacon(frame, self._sim.now)
@@ -949,6 +981,8 @@ class BasestationNode(_NodeBase):
         # Specialized dispatch: BS beacons (the majority of beacon
         # receptions) carry no designations, so the protocol hook call
         # is skipped for them after the estimator note.
+        if self.radio_down:
+            return
         kind = frame.kind
         if kind is _BEACON:
             self._note_beacon(frame, self._sim.now)
@@ -987,7 +1021,8 @@ class BasestationNode(_NodeBase):
                 self.is_anchor = False
 
     def can_send_data(self):
-        return self.is_anchor and self.vehicle_id is not None
+        return self.is_anchor and self.vehicle_id is not None \
+            and not self.radio_down
 
     def current_aux_snapshot(self):
         return tuple(b for b in self.known_aux if b != self.node_id)
@@ -1198,7 +1233,10 @@ class BasestationNode(_NodeBase):
                     self.node_id, packet.dst, copy, copy.size_bytes,
                     dst_node.on_backplane_data, category="relay",
                 )
-        else:
+        elif not self.radio_down:
+            # Downstream relays air over the radio; a dead radio drops
+            # the relay (upstream relays above ride the wired plane,
+            # which an outage leaves up).
             ctx.medium.send(self.node_id, copy)
 
     # -- salvaging (Section 4.5) ------------------------------------------------

@@ -330,6 +330,13 @@ class ViFiSimulation:
             beacon phases) — independent of the channel randomness
             baked into *link_table*.
         vehicle_id: the vehicle's node id.
+        faults: an optional :class:`~repro.sim.faults.FaultSchedule`
+            of infrastructure faults (BS radio outages, backplane
+            partitions/latency spikes, beacon bursts, vehicle radio
+            resets) to inject into the run.  Faults draw only from
+            their own RNG namespace and inject only flag flips, so
+            ``faults=None`` (the default) is bitwise-identical to a
+            build without the fault plane.
 
     Typical use::
 
@@ -340,7 +347,7 @@ class ViFiSimulation:
     """
 
     def __init__(self, bs_ids, link_table, config=None, seed=0,
-                 vehicle_id=0):
+                 vehicle_id=0, faults=None):
         self.config = config or ViFiConfig()
         self.sim = Simulator()
         self.rngs = RngRegistry(seed).spawn("protocol")
@@ -406,6 +413,9 @@ class ViFiSimulation:
             self.bs_nodes[bs] = node
         self.gateway = InternetGateway(self.ctx)
         self.ctx.gateway = self.gateway
+        self.fault_plane = (
+            faults.install(self) if faults is not None else None
+        )
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------

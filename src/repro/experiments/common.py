@@ -10,8 +10,11 @@ registry), so the figure benchmarks farm independent runs out to a
 process pool and merge results deterministically.
 """
 
+import hashlib
 import multiprocessing
 import os
+import pickle
+import time
 
 from repro.apps.workload import CbrWorkload, FlowRouter
 from repro.core.protocol import ViFiConfig, ViFiSimulation
@@ -20,6 +23,7 @@ from repro.testbeds.vanlan import VEHICLE_ID, VanLanTestbed
 
 __all__ = [
     "WARMUP_S",
+    "SweepResult",
     "available_workers",
     "build_shared_banks",
     "dieselnet_protocol",
@@ -28,6 +32,7 @@ __all__ = [
     "run_protocol_cbr",
     "run_trips",
     "shared_bank",
+    "shared_bank_spec",
     "vanlan_cbr_trip",
     "vanlan_protocol",
     "worker_state",
@@ -38,7 +43,7 @@ WARMUP_S = 3.0
 
 
 def vanlan_protocol(testbed, trip, config=None, seed=0, bank=None,
-                    sampling="centre", prefill=True):
+                    sampling="centre", prefill=True, faults=None):
     """A protocol run over one VanLAN trip (deployment-style links).
 
     With the default bucket-centre ``sampling``, the whole trip's
@@ -73,6 +78,7 @@ def vanlan_protocol(testbed, trip, config=None, seed=0, bank=None,
     sim = ViFiSimulation(
         testbed.deployment.bs_ids, table,
         config=config or ViFiConfig(), seed=seed, vehicle_id=VEHICLE_ID,
+        faults=faults,
     )
     sim.link_bank = table.link_bank
     return sim, motion.route.duration
@@ -135,8 +141,102 @@ def available_workers():
         return os.cpu_count() or 1
 
 
+class SweepResult(list):
+    """Results of a :func:`run_trips` sweep, in task order.
+
+    A plain list of per-task results (so every existing caller treats
+    it as before), annotated with the sweep's fate:
+
+    Attributes:
+        partial: ``True`` when the sweep did not produce every result
+            — interrupted (``KeyboardInterrupt``) or tasks exhausted
+            their retry budget.  Missing slots hold ``None``.
+        failures: tuple of ``(task_index, reason)`` for tasks that
+            failed permanently.
+        retries: total resubmissions performed (crashes, hangs, raised
+            exceptions that later succeeded all count).
+        resumed: results loaded from an on-disk checkpoint instead of
+            being recomputed.
+    """
+
+    partial = False
+    failures = ()
+    retries = 0
+    resumed = 0
+
+
+def _checkpoint_fingerprint(worker, tasks):
+    """Identity of a sweep, so a checkpoint never feeds a different one.
+
+    ``None`` (unpicklable tasks) disables fingerprint matching — the
+    checkpoint is then keyed by path alone, which the caller opted
+    into by passing ``checkpoint=``.
+    """
+    try:
+        blob = pickle.dumps(
+            (getattr(worker, "__module__", ""),
+             getattr(worker, "__qualname__", repr(worker)), tasks),
+            protocol=4,
+        )
+    except Exception:
+        return None
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _checkpoint_load(path, fingerprint):
+    """Completed ``{index: result}`` from *path*, if it matches."""
+    try:
+        with open(path, "rb") as fh:
+            state = pickle.load(fh)
+    except (OSError, EOFError, pickle.UnpicklingError):
+        return {}
+    if not isinstance(state, dict) or "results" not in state:
+        return {}
+    if state.get("fingerprint") != fingerprint:
+        return {}
+    return dict(state["results"])
+
+
+def _checkpoint_store(path, fingerprint, results):
+    """Atomically persist completed results (tmp file + rename)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump({"fingerprint": fingerprint, "results": results},
+                    fh, protocol=4)
+    os.replace(tmp, path)
+
+
+def _spawn_safe_initializer(initializer, initargs):
+    """Make ``(initializer, initargs)`` survive a spawn context.
+
+    Under ``fork`` the initializer and its arguments ride process
+    inheritance; ``spawn`` pickles them instead, so heavyweight or
+    unpicklable worker state (prefilled propagation banks hold live
+    generator objects and megabytes of pages) must either be rebuilt
+    in-worker or skipped.  An initializer may publish a
+    ``spawn_fallback`` attribute — a zero-argument callable used when
+    its real arguments cannot be pickled (see
+    :func:`install_shared_banks`, which degrades to per-task bank
+    builds: slower, bit-identical).
+    """
+    try:
+        pickle.dumps((initializer, tuple(initargs)), protocol=4)
+        return initializer, tuple(initargs)
+    except Exception as exc:
+        fallback = getattr(initializer, "spawn_fallback", None)
+        if fallback is not None:
+            return fallback, ()
+        raise TypeError(
+            "initializer/initargs are not picklable under the spawn "
+            "start method and the initializer declares no "
+            "spawn_fallback"
+        ) from exc
+
+
 def run_trips(worker, tasks, workers=None, chunksize=1,
-              initializer=None, initargs=()):
+              initializer=None, initargs=(), start_method=None,
+              task_timeout_s=None, retries=0, retry_backoff_s=0.5,
+              checkpoint=None):
     """Run independent per-trip tasks, optionally on a process pool.
 
     Every stochastic component draws from streams derived from
@@ -145,7 +245,9 @@ def run_trips(worker, tasks, workers=None, chunksize=1,
     worker runs it or in what order.  That is the determinism
     contract: ``run_trips(w, tasks, workers=k)`` returns exactly
     ``[w(t) for t in tasks]`` for every *k*, with results merged back
-    in task order.
+    in task order — and it extends to the resilience machinery: a
+    retried, resumed, or re-pooled task reruns the same pure function
+    on the same argument, so recovery never changes a result.
 
     Args:
         worker: a picklable module-level callable taking one task
@@ -158,32 +260,241 @@ def run_trips(worker, tasks, workers=None, chunksize=1,
         workers: process count; ``None`` uses the host's available
             cores, ``0``/``1`` runs serially in-process (no pool, no
             pickling).
-        chunksize: tasks handed to a worker per dispatch.
+        chunksize: kept for API compatibility; the per-task dispatcher
+            supersedes chunked ``pool.map`` batching (tasks here are
+            whole protocol runs, far heavier than dispatch overhead).
         initializer: optional per-worker setup callable (also invoked
             once in-process for the serial path, so serial and pooled
             runs see identical state).
         initargs: arguments for *initializer*.
+        start_method: multiprocessing start method (``"fork"`` /
+            ``"spawn"`` / ``"forkserver"``); ``None`` prefers fork
+            (children share the already-imported modules).  Under a
+            spawning method the initializer must be spawn-safe — see
+            :func:`_spawn_safe_initializer`.
+        task_timeout_s: per-task wall-clock budget.  A task that
+            neither returns nor raises within it is presumed lost —
+            the covering failure mode is a crashed or wedged worker
+            process, which ``multiprocessing.Pool`` never reports —
+            and is resubmitted (until *retries* is exhausted).  When
+            every pool slot is presumed lost the pool itself is torn
+            down and rebuilt.  ``None`` (default) disables the watch;
+            pool runs then hang on a crashed worker exactly as
+            ``pool.map`` always has, so sweeps that want crash
+            resilience must set a budget.  Ignored on the serial path
+            (an in-process task cannot be preempted).
+        retries: resubmissions allowed per task (for raised
+            exceptions, timeouts, and crashed workers alike).
+        retry_backoff_s: initial backoff before a resubmission;
+            doubles per attempt (0.5 s, 1 s, 2 s, ...).
+        checkpoint: optional path for an on-disk checkpoint of
+            completed task results (pickle, written atomically after
+            every completion).  A rerun with the same worker and task
+            list resumes from it — completed tasks are not recomputed
+            — and the file is removed once every task has succeeded.
 
     Returns:
-        List of results, one per task, in task order.
+        :class:`SweepResult` — a list of results, one per task, in
+        task order.  On ``KeyboardInterrupt`` the pool is terminated
+        and joined (no orphaned workers) and the completed prefix is
+        returned with ``partial=True`` instead of the exception
+        propagating; permanently failed tasks leave ``None`` in their
+        slot and are listed in ``failures``.
     """
     tasks = list(tasks)
     if workers is None:
         workers = available_workers()
     workers = min(int(workers), len(tasks)) if tasks else 0
+    retries = max(int(retries), 0)
+
+    fingerprint = None
+    results = {}
+    if checkpoint is not None:
+        fingerprint = _checkpoint_fingerprint(worker, tasks)
+        results = {
+            i: r for i, r in _checkpoint_load(checkpoint,
+                                              fingerprint).items()
+            if isinstance(i, int) and 0 <= i < len(tasks)
+        }
+    resumed = len(results)
+
+    def _finish(partial, failures, retry_count):
+        out = SweepResult(results.get(i) for i in range(len(tasks)))
+        out.partial = bool(partial) or len(results) < len(tasks)
+        out.failures = tuple(failures)
+        out.retries = retry_count
+        out.resumed = resumed
+        if checkpoint is not None:
+            if out.partial:
+                if results:
+                    _checkpoint_store(checkpoint, fingerprint, results)
+            elif os.path.exists(checkpoint):
+                os.remove(checkpoint)
+        return out
+
+    pending = [i for i in range(len(tasks)) if i not in results]
+    if not pending:
+        return _finish(False, (), 0)
+
     if workers <= 1:
-        if initializer is not None:
-            initializer(*initargs)
-        return [worker(task) for task in tasks]
+        return _run_serial(worker, tasks, pending, results, initializer,
+                           initargs, retries, retry_backoff_s,
+                           checkpoint, fingerprint, _finish)
+    return _run_pooled(worker, tasks, pending, results,
+                       min(workers, len(pending)), initializer,
+                       initargs, start_method, task_timeout_s, retries,
+                       retry_backoff_s, checkpoint, fingerprint,
+                       _finish)
+
+
+def _run_serial(worker, tasks, pending, results, initializer, initargs,
+                retries, retry_backoff_s, checkpoint, fingerprint,
+                finish):
+    """In-process sweep: same retry/checkpoint semantics, no pool."""
+    if initializer is not None:
+        initializer(*initargs)
+    failures = []
+    retry_count = 0
+    try:
+        for i in pending:
+            attempt = 0
+            while True:
+                try:
+                    results[i] = worker(tasks[i])
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > retries:
+                        failures.append((i, f"raised {exc!r}"))
+                        break
+                    retry_count += 1
+                    time.sleep(retry_backoff_s * 2.0 ** (attempt - 1))
+                else:
+                    if checkpoint is not None:
+                        _checkpoint_store(checkpoint, fingerprint,
+                                          results)
+                    break
+    except KeyboardInterrupt:
+        return finish(True, failures, retry_count)
+    return finish(False, failures, retry_count)
+
+
+def _run_pooled(worker, tasks, pending, results, workers, initializer,
+                initargs, start_method, task_timeout_s, retries,
+                retry_backoff_s, checkpoint, fingerprint, finish):
+    """Process-pool sweep with crash/hang detection and retry.
+
+    Tasks are dispatched individually (``apply_async``) so each has
+    its own deadline; ``multiprocessing.Pool`` respawns a crashed
+    worker but silently abandons its in-flight task, so the deadline
+    is the *only* signal for both crashes and hangs.  A hung worker
+    additionally wedges its pool slot; once every slot is presumed
+    lost, the pool is terminated and rebuilt, and still-pending work
+    resubmitted.
+    """
     # fork shares the already-imported modules with the children;
     # spawn (the only option on some platforms) re-imports them.
     methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
-    with ctx.Pool(processes=workers, initializer=initializer,
-                  initargs=tuple(initargs)) as pool:
-        return pool.map(worker, tasks, chunksize=max(int(chunksize), 1))
+    if start_method is None:
+        start_method = "fork" if "fork" in methods else "spawn"
+    elif start_method not in methods:
+        raise ValueError(
+            f"start method {start_method!r} not available "
+            f"(have {methods})"
+        )
+    if start_method != "fork" and initializer is not None:
+        initializer, initargs = _spawn_safe_initializer(initializer,
+                                                        initargs)
+    ctx = multiprocessing.get_context(start_method)
+
+    failures = []
+    retry_count = 0
+    lost_slots = 0
+    attempts = {i: 0 for i in pending}
+    inflight = {}   # index -> (AsyncResult, deadline | None)
+    waiting = {}    # index -> earliest resubmission time (backoff)
+
+    pool = ctx.Pool(processes=workers, initializer=initializer,
+                    initargs=tuple(initargs))
+
+    def submit(i, count_attempt=True):
+        if count_attempt:
+            attempts[i] += 1
+        deadline = (None if task_timeout_s is None
+                    else time.monotonic() + float(task_timeout_s))
+        inflight[i] = (pool.apply_async(worker, (tasks[i],)), deadline)
+
+    def fail_or_retry(i, reason):
+        nonlocal retry_count
+        if attempts[i] > retries:
+            failures.append((i, reason))
+            return
+        retry_count += 1
+        backoff = retry_backoff_s * 2.0 ** (attempts[i] - 1)
+        waiting[i] = time.monotonic() + backoff
+
+    try:
+        for i in pending:
+            submit(i)
+        while inflight or waiting:
+            progressed = False
+            now = time.monotonic()
+            for i in [i for i, t in waiting.items() if t <= now]:
+                del waiting[i]
+                submit(i)
+                progressed = True
+            for i in list(inflight):
+                handle, deadline = inflight[i]
+                if handle.ready():
+                    del inflight[i]
+                    progressed = True
+                    try:
+                        results[i] = handle.get()
+                    except Exception as exc:
+                        fail_or_retry(i, f"raised {exc!r}")
+                    else:
+                        if checkpoint is not None:
+                            _checkpoint_store(checkpoint, fingerprint,
+                                              results)
+                elif deadline is not None and now >= deadline:
+                    # Crashed worker (task abandoned) or hung worker
+                    # (slot wedged until the pool dies) — either way
+                    # the result will never arrive.
+                    del inflight[i]
+                    lost_slots += 1
+                    progressed = True
+                    fail_or_retry(
+                        i, f"timed out after {task_timeout_s} s"
+                    )
+            if lost_slots >= workers and (inflight or waiting):
+                # Every slot presumed wedged: only a fresh pool can
+                # make progress.  In-flight tasks did not fail — they
+                # were on the doomed pool — so resubmission does not
+                # charge their retry budget.
+                resubmit = list(inflight)
+                inflight.clear()
+                pool.terminate()
+                pool.join()
+                pool = ctx.Pool(processes=workers,
+                                initializer=initializer,
+                                initargs=tuple(initargs))
+                lost_slots = 0
+                for i in resubmit:
+                    submit(i, count_attempt=False)
+                progressed = True
+            if not progressed:
+                time.sleep(0.005)
+    except KeyboardInterrupt:
+        pool.terminate()
+        pool.join()
+        return finish(True, failures, retry_count)
+    # terminate (not close): a wedged worker from a timed-out task
+    # would make close+join wait forever; every result is already in
+    # hand, matching the historical ``with Pool(...)`` exit behaviour.
+    pool.terminate()
+    pool.join()
+    return finish(False, failures, retry_count)
 
 
 #: Heavyweight per-worker state (testbeds, variant maps) shipped once
@@ -227,9 +538,41 @@ def install_shared_banks(banks):
 
     *banks* maps ``(testbed_seed, trip)`` to a prefilled
     :class:`~repro.net.propagation.LinkBank`.  Pass ``{}`` to clear.
+
+    Spawn compatibility: under a spawning start method the registry
+    cannot ride fork inheritance, so *banks* may instead be the small
+    picklable spec from :func:`shared_bank_spec` — the worker then
+    rebuilds the banks in-process (bucket values are pure functions of
+    ``(testbed seed, trip)``, so rebuilt and inherited banks are
+    bit-identical).  If a sweep ships real bank objects that fail to
+    pickle, :func:`run_trips` degrades to this initializer's
+    ``spawn_fallback`` — an empty registry, i.e. per-task bank builds:
+    slower, same bits.
     """
     global _shared_banks
+    if isinstance(banks, tuple) and banks and banks[0] == "rebuild-banks":
+        _, testbed_seed, trips, prefill = banks
+        banks = build_shared_banks(testbed_seed, trips, prefill=prefill)
     _shared_banks = dict(banks)
+
+
+def _no_shared_banks():
+    """Spawn fallback: run the sweep without the shared registry."""
+    install_shared_banks({})
+
+
+install_shared_banks.spawn_fallback = _no_shared_banks
+
+
+def shared_bank_spec(testbed_seed, trips, prefill=True):
+    """A picklable rebuild-in-worker spec for :func:`install_shared_banks`.
+
+    Use as the ``initargs`` payload when a sweep must run under the
+    spawn start method: instead of pickling megabytes of prefilled
+    bank pages per worker, each worker rebuilds them once.
+    """
+    return ("rebuild-banks", int(testbed_seed),
+            tuple(int(t) for t in trips), bool(prefill))
 
 
 def shared_bank(testbed_seed, trip):

@@ -199,6 +199,9 @@ def run_workload(name):
     folds (0.0 in dict mode, whose folds run inside per-node events).
     ``host`` snapshots the machine condition (:func:`host_context`)
     so a surprising rate is attributable to load, not guessed at.
+    ``faults`` is always ``"none"``: perf workloads run the nominal
+    world (no fault plane installed), and the field pins that so a
+    future faulted benchmark cannot be confused with these baselines.
     """
     if name not in _BUILDERS:
         raise KeyError(f"unknown workload {name!r}; have {WORKLOADS}")
@@ -234,6 +237,7 @@ def run_workload(name):
         "events_per_s": round(events_per_s, 1),
         "sim_s_per_wall_s": round(sim_rate, 2),
         "estimator": "dict" if estimator_bank is None else "array",
+        "faults": "none",
         "estimator_fold_s": round(
             getattr(estimator_bank, "fold_wall_s", 0.0), 4
         ),

@@ -12,6 +12,14 @@ from one BS to another is serialized on the sender's uplink (FIFO) and
 arrives after a propagation ``latency_s``.  The backplane is reliable
 (it is wired) but counts every byte per category so experiments can
 report the relaying/salvaging load that Section 5.4 discusses.
+
+Degraded operation (the fault plane, :mod:`repro.sim.faults`): a BS
+may be *partitioned* (temporarily unreachable over the wire) or
+*disconnected* (removed), and the plane-wide latency can spike by a
+multiplier.  Messages to or from an unreachable BS are dropped
+silently and counted in ``dropped`` — the wired plane is best-effort
+under faults, and the protocol's recovery path is end-to-end source
+retransmission, never an exception out of the relay/salvage machinery.
 """
 
 __all__ = ["Backplane"]
@@ -35,18 +43,46 @@ class Backplane:
         self.sim = sim
         self.bandwidth = float(bandwidth_bps)
         self.latency = float(latency_s)
+        #: Transient latency scaling (fault plane); 1.0 is nominal.
+        self.latency_multiplier = 1.0
         self._members = set()
+        self._partitioned = set()
         self._uplink_free_at = {}
         self.bytes_sent = {}
         self.messages_sent = {}
+        #: Messages dropped per category because an endpoint was
+        #: partitioned or disconnected.
+        self.dropped = {}
 
     def connect(self, bs_id):
         """Register a basestation on the backplane."""
         self._members.add(bs_id)
         self._uplink_free_at.setdefault(bs_id, 0.0)
 
+    def disconnect(self, bs_id):
+        """Remove a basestation; later messages to/from it are dropped."""
+        self._members.discard(bs_id)
+        self._partitioned.discard(bs_id)
+
+    def partition(self, bs_id):
+        """Cut *bs_id* off the wired plane without deregistering it."""
+        self._partitioned.add(bs_id)
+
+    def heal(self, bs_id):
+        """Undo :meth:`partition`."""
+        self._partitioned.discard(bs_id)
+
+    def is_partitioned(self, bs_id):
+        return bs_id in self._partitioned
+
     def is_connected(self, bs_id):
         return bs_id in self._members
+
+    def reachable(self, src, dst):
+        """Whether a message from *src* can currently reach *dst*."""
+        members, cut = self._members, self._partitioned
+        return (src in members and dst in members
+                and src not in cut and dst not in cut)
 
     def send(self, src, dst, payload, size_bytes, on_delivery,
              category="relay"):
@@ -61,20 +97,23 @@ class Backplane:
                 "forward", ...).
 
         Returns:
-            The simulation time at which delivery will occur.
+            The simulation time at which delivery will occur, or
+            ``None`` when the message was dropped because either
+            endpoint is partitioned or no longer on the backplane
+            (counted in ``dropped``; the caller's recovery path is
+            source retransmission, so no exception is raised).
         """
-        if src not in self._members:
-            raise KeyError(f"BS {src} not on the backplane")
-        if dst not in self._members:
-            raise KeyError(f"BS {dst} not on the backplane")
         if size_bytes < 0:
             raise ValueError("size must be non-negative")
+        if not self.reachable(src, dst):
+            self.dropped[category] = self.dropped.get(category, 0) + 1
+            return None
 
         now = self.sim.now
         start = max(now, self._uplink_free_at[src])
         tx_done = start + size_bytes * 8.0 / self.bandwidth
         self._uplink_free_at[src] = tx_done
-        arrival = tx_done + self.latency
+        arrival = tx_done + self.latency * self.latency_multiplier
 
         self.bytes_sent[category] = (
             self.bytes_sent.get(category, 0) + size_bytes

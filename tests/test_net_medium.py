@@ -179,12 +179,16 @@ class TestBackplane:
         second = bp.send(1, 2, "b", 1000, lambda m: None)
         assert second == pytest.approx(first + 1000 * 8 / 1e6)
 
-    def test_unknown_member_rejected(self):
+    def test_unknown_member_dropped_and_counted(self):
+        # PR 7 degraded-operation contract: an unreachable peer is a
+        # counted drop, not an exception (see tests/test_net_backplane
+        # for the full edge-case suite).
         sim = Simulator()
         bp = Backplane(sim)
         bp.connect(1)
-        with pytest.raises(KeyError):
-            bp.send(1, 9, "x", 10, lambda m: None)
+        assert bp.send(1, 9, "x", 10, lambda m: None) is None
+        assert bp.dropped == {"relay": 1}
+        assert bp.total_bytes() == 0
 
     def test_byte_accounting_by_category(self):
         sim = Simulator()

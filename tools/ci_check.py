@@ -28,7 +28,12 @@ Runs, in order:
    against the dict reference).  The stage fails if the slow marker
    collects nothing, so a marker typo cannot silently skip the
    suite,
-3. the perf gate (``python -m repro bench --repeats 3`` via
+3. the fault-matrix smoke (``tools/fault_smoke.py``): one short ViFi
+   trip per injected-fault kind (no-fault, BS outage, backplane
+   partition, beacon-loss burst) — every cell must complete without
+   error and keep delivery above zero while the vehicle is reachable
+   (the PR 7 graceful-degradation contract),
+4. the perf gate (``python -m repro bench --repeats 3`` via
    ``tools/perf_smoke.py``), which rewrites ``BENCH_perf.json`` and
    fails on a >20% tracked-rate regression against the committed
    numbers (best-of-3 so container wall-clock noise does not eat the
@@ -89,6 +94,10 @@ def main(argv=None):
             [sys.executable, "-m", "pytest", "-q", "-m", "slow",
              "--override-ini", "addopts="],
         ))
+    stages.append((
+        "fault-matrix smoke",
+        [sys.executable, str(REPO_ROOT / "tools" / "fault_smoke.py")],
+    ))
     if not args.skip_bench:
         stages.append((
             "perf gate (python -m repro bench --repeats 3)",
