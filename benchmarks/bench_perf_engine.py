@@ -90,12 +90,17 @@ def test_perf_engine(benchmark, save_results):
     # numbers are attributable to a machine condition.  They always
     # run the nominal world — no fault plane — and the record pins
     # that (PR 7) so baselines cannot be confused with faulted runs.
+    # Likewise the result store never serves a pinned workload (PR 8):
+    # the store counters are pinned to zero so a warm-cache read can
+    # never masquerade as an engine speedup.
     for record in results:
         assert record["estimator"] == "array"
         assert 0.0 <= record["estimator_fold_s"] < record["wall_s"]
         assert record["host"]["cpu_count"] >= 1
         assert record["host"]["python"]
         assert record["faults"] == "none"
+        assert record["store"] == {"hits": 0, "misses": 0,
+                                   "verify_failures": 0}
     # The tentpole acceptance bar: the sim-rate speedup targets on
     # both pinned single-process workloads against the seed baseline.
     assert vanlan["speedup_vs_baseline"] >= TARGET_SPEEDUP, (
@@ -112,6 +117,14 @@ def test_perf_engine(benchmark, save_results):
     assert scaling["outputs_identical"], (
         "parallel multi-trip sweep diverged from the serial sweep"
     )
+    # The scaling sweep runs with the store disabled (store=False), so
+    # every store counter in its record must be zero — the recorded
+    # parallel speedup measures the pool, not cache hits.
+    scaling_store = scaling["store"]
+    for field in ("hits", "misses", "verify_failures", "quarantined"):
+        assert scaling_store[field] == 0, (
+            f"scaling sweep touched the result store: {scaling_store}"
+        )
     if scaling["available_workers"] >= 4 and scaling["workers"] >= 4:
         assert scaling["parallel_speedup"] >= TARGET_PARALLEL_SPEEDUP, (
             f"multi-trip scaling too weak: {scaling['parallel_speedup']}x "

@@ -6,6 +6,8 @@ Usage::
     python -m repro fig07 [--seed N]
     python -m repro table1
     python -m repro bench
+    python -m repro store stats
+    python -m repro serve --list
 
 Each experiment prints the same rows/series as the corresponding paper
 artifact at a reduced scale.  For the full benchmark harness (with
@@ -16,6 +18,12 @@ shape assertions and JSON outputs) use
 ``BENCH_perf.json``, and exits non-zero on a >20% sim-rate regression
 against the committed numbers (see ``tools/perf_smoke.py`` for the
 flags, including ``--profile`` for a cProfile top-N per workload).
+
+``store`` inspects/maintains the content-addressed result store
+(:mod:`repro.store`); ``serve`` runs experiment jobs from stdin JSON
+lines through the hardened service layer (:mod:`repro.service`).
+Experiments memoize through the store named by ``$REPRO_RESULT_STORE``
+when it is set.
 """
 
 import argparse
@@ -115,14 +123,25 @@ def main(argv=None):
         description="Run a reduced-scale ViFi paper experiment.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["bench", "list"],
+                        choices=sorted(EXPERIMENTS)
+                        + ["bench", "list", "store", "serve"],
                         help="experiment id, 'bench' for the perf "
-                             "smoke, or 'list' to enumerate")
+                             "smoke, 'store'/'serve' for the result "
+                             "store and service, or 'list' to "
+                             "enumerate")
     parser.add_argument("--seed", type=int, default=7,
                         help="root seed (default 7)")
     args, extra = parser.parse_known_args(argv)
-    if extra and args.experiment != "bench":
+    if extra and args.experiment not in ("bench", "store", "serve"):
         parser.error(f"unrecognized arguments: {' '.join(extra)}")
+
+    if args.experiment == "store":
+        from repro.store import main_store
+        return main_store(extra)
+
+    if args.experiment == "serve":
+        from repro.service import main_serve
+        return main_serve(extra)
 
     if args.experiment == "bench":
         import importlib.util
@@ -139,6 +158,8 @@ def main(argv=None):
             print(f"{name:<10s} {description}")
         for name, description in (
             ("bench", "pinned perf workloads -> BENCH_perf.json"),
+            ("store", "inspect/verify/clear the result store"),
+            ("serve", "run experiment jobs from stdin JSON lines"),
         ):
             print(f"{name:<10s} {description}")
         return 0

@@ -11,11 +11,13 @@ process pool and merge results deterministically.
 """
 
 import hashlib
+import logging
 import multiprocessing
 import os
 import pickle
 import time
 
+from repro import store as repro_store
 from repro.apps.workload import CbrWorkload, FlowRouter
 from repro.core.protocol import ViFiConfig, ViFiSimulation
 from repro.testbeds.lossmap import build_link_table_from_log
@@ -29,6 +31,7 @@ __all__ = [
     "dieselnet_protocol",
     "init_worker_state",
     "install_shared_banks",
+    "memoized_beacon_log",
     "run_protocol_cbr",
     "run_trips",
     "shared_bank",
@@ -37,6 +40,8 @@ __all__ = [
     "vanlan_protocol",
     "worker_state",
 ]
+
+log = logging.getLogger("repro.experiments")
 
 #: Seconds of beaconing before applications start.
 WARMUP_S = 3.0
@@ -157,12 +162,21 @@ class SweepResult(list):
             exceptions that later succeeded all count).
         resumed: results loaded from an on-disk checkpoint instead of
             being recomputed.
+        store: result-store accounting for the sweep — a dict with
+            ``hits`` / ``misses`` / ``verify_failures`` (plus
+            quarantine/write bookkeeping and the degradation reason,
+            if any).  All zeros when the sweep ran store-free.
     """
 
     partial = False
     failures = ()
     retries = 0
     resumed = 0
+    store = None
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.store = repro_store.StoreStats().snapshot()
 
 
 def _checkpoint_fingerprint(worker, tasks):
@@ -183,12 +197,27 @@ def _checkpoint_fingerprint(worker, tasks):
     return hashlib.sha256(blob).hexdigest()
 
 
+#: Record key under which sweep checkpoints are written (the store's
+#: verified record format; see :mod:`repro.store`).
+_CHECKPOINT_KEY = "run-trips-checkpoint"
+
+
 def _checkpoint_load(path, fingerprint):
-    """Completed ``{index: result}`` from *path*, if it matches."""
+    """Completed ``{index: result}`` from *path*, if it matches.
+
+    The checkpoint rides the result store's verified record format, so
+    a truncated or bit-flipped checkpoint is *detected* (payload
+    digest mismatch) and treated as a cold start with a warning —
+    never a traceback into the sweep.
+    """
     try:
-        with open(path, "rb") as fh:
-            state = pickle.load(fh)
-    except (OSError, EOFError, pickle.UnpicklingError):
+        state = repro_store.read_record(path,
+                                        expected_key=_CHECKPOINT_KEY)
+    except FileNotFoundError:
+        return {}
+    except (repro_store.StoreCorruption, OSError) as exc:
+        log.warning("sweep checkpoint %s is unreadable (%s); treating "
+                    "the sweep as a cold start", path, exc)
         return {}
     if not isinstance(state, dict) or "results" not in state:
         return {}
@@ -198,12 +227,21 @@ def _checkpoint_load(path, fingerprint):
 
 
 def _checkpoint_store(path, fingerprint, results):
-    """Atomically persist completed results (tmp file + rename)."""
-    tmp = f"{path}.tmp"
-    with open(tmp, "wb") as fh:
-        pickle.dump({"fingerprint": fingerprint, "results": results},
-                    fh, protocol=4)
-    os.replace(tmp, path)
+    """Durably persist completed results (tmp + fsync + rename).
+
+    A checkpoint that cannot be written (disk full, read-only
+    directory, unpicklable result) costs durability, not the sweep:
+    the failure is logged and the run continues.
+    """
+    try:
+        repro_store.write_record(
+            path, {"fingerprint": fingerprint, "results": results},
+            key=_CHECKPOINT_KEY,
+        )
+    except (OSError, pickle.PicklingError, TypeError,
+            AttributeError) as exc:
+        log.warning("sweep checkpoint %s could not be written (%s); "
+                    "continuing without resume durability", path, exc)
 
 
 def _spawn_safe_initializer(initializer, initargs):
@@ -233,10 +271,63 @@ def _spawn_safe_initializer(initializer, initargs):
         ) from exc
 
 
+def _sweep_store_context(worker, initializer, initargs):
+    """Canonical identity of a sweep for result-store key derivation.
+
+    Covers the worker function and any initializer state that can
+    change results (configs, seeds, testbeds).  Initializers that are
+    result-neutral by contract — e.g. :func:`install_shared_banks`,
+    whose shared banks are bit-identical to per-task builds — declare
+    ``store_neutral = True`` and stay out of the digest, so warm-cache
+    hits survive bank-sharing choices and worker counts alike.
+
+    Raises:
+        repro_store.Uncacheable: some initializer argument has no
+            canonical token; the caller degrades to an uncached sweep.
+    """
+    parts = [("worker", repro_store.canonical_token(worker))]
+    if initializer is not None and not getattr(initializer,
+                                               "store_neutral", False):
+        parts.append(("init", repro_store.canonical_token(initializer),
+                      repro_store.canonical_token(tuple(initargs))))
+    return parts
+
+
+def _store_task(spec):
+    """Worker-side wrapper: single-flight memoized task execution.
+
+    Runs in the worker process (or inline on the serial path), so the
+    per-key advisory lock serializes recomputation across every
+    process asking for the same missing entry — including concurrent
+    sweeps in other interpreters.  Returns a tagged tuple with the
+    store-counter delta so the parent can account verification
+    failures and writes that happened worker-side.
+    """
+    root, read_only, key, worker, task = spec
+    store = repro_store.ResultStore(root, read_only=read_only)
+    value = store.get_or_compute(key, lambda: worker(task))
+    return "store-task", store.stats.snapshot(), value
+
+
+def _merge_worker_store_stats(sweep_store, delta):
+    """Fold a worker-side counter delta into the sweep's accounting.
+
+    Hits/misses are *not* merged: the parent already counted this
+    task's pre-read, and the worker's re-check is the same logical
+    request.
+    """
+    sweep_store.verify_failures += int(delta.get("verify_failures", 0))
+    sweep_store.quarantined += int(delta.get("quarantined", 0))
+    sweep_store.writes += int(delta.get("writes", 0))
+    sweep_store.write_skips += int(delta.get("write_skips", 0))
+    if sweep_store.degraded is None and delta.get("degraded"):
+        sweep_store.degraded = delta["degraded"]
+
+
 def run_trips(worker, tasks, workers=None, chunksize=1,
               initializer=None, initargs=(), start_method=None,
               task_timeout_s=None, retries=0, retry_backoff_s=0.5,
-              checkpoint=None):
+              checkpoint=None, store=None):
     """Run independent per-trip tasks, optionally on a process pool.
 
     Every stochastic component draws from streams derived from
@@ -288,10 +379,29 @@ def run_trips(worker, tasks, workers=None, chunksize=1,
         retry_backoff_s: initial backoff before a resubmission;
             doubles per attempt (0.5 s, 1 s, 2 s, ...).
         checkpoint: optional path for an on-disk checkpoint of
-            completed task results (pickle, written atomically after
-            every completion).  A rerun with the same worker and task
-            list resumes from it — completed tasks are not recomputed
-            — and the file is removed once every task has succeeded.
+            completed task results (the store's verified record
+            format, written atomically with fsync after every
+            completion).  A rerun with the same worker and task list
+            resumes from it — completed tasks are not recomputed —
+            and the file is removed once every task has succeeded.  A
+            truncated or corrupt checkpoint is detected and treated
+            as a cold start with a warning.
+        store: result-store participation.  ``None`` (default) uses
+            the ambient store — the one installed via
+            :func:`repro.store.set_default_store` or named by the
+            ``REPRO_RESULT_STORE`` environment variable — and runs
+            uncached when there is none (the historical behaviour).
+            ``False`` disables caching outright (pinned benchmarks);
+            a path or :class:`repro.store.ResultStore` opts in
+            explicitly.  With a store, each task's result is
+            content-addressed by (worker, initializer state, task,
+            schema/code version): warm re-runs are pure cache reads,
+            corrupt entries are quarantined and recomputed, and
+            concurrent processes missing on the same key compute it
+            once (single-flight).  A sweep whose identity cannot be
+            canonically tokenized, or a store on failing media, logs
+            one warning and runs uncached — caching never fails a
+            sweep.
 
     Returns:
         :class:`SweepResult` — a list of results, one per task, in
@@ -307,6 +417,24 @@ def run_trips(worker, tasks, workers=None, chunksize=1,
     workers = min(int(workers), len(tasks)) if tasks else 0
     retries = max(int(retries), 0)
 
+    store_obj = repro_store.resolve_store(store)
+    store_keys = None
+    if store_obj is not None:
+        try:
+            context = _sweep_store_context(worker, initializer, initargs)
+            store_keys = [
+                repro_store.result_key("run-trips", context, task)
+                for task in tasks
+            ]
+        except repro_store.Uncacheable as exc:
+            log.warning("sweep identity is not cacheable (%s); running "
+                        "without the result store", exc)
+            store_obj = None
+    sweep_store = repro_store.StoreStats()
+    store_call = None
+    if store_obj is not None:
+        store_call = (store_obj.root, store_obj.read_only, store_keys)
+
     fingerprint = None
     results = {}
     if checkpoint is not None:
@@ -318,12 +446,31 @@ def run_trips(worker, tasks, workers=None, chunksize=1,
         }
     resumed = len(results)
 
+    # Warm-cache pre-pass: every task already in the store is a pure
+    # read in the parent — a fully warm sweep never spins up a pool.
+    if store_obj is not None:
+        for i in range(len(tasks)):
+            if i in results:
+                continue
+            status, value = store_obj._load(store_keys[i])
+            if status == "hit":
+                results[i] = value
+                sweep_store.hits += 1
+            else:
+                sweep_store.misses += 1
+                if status == "corrupt":
+                    sweep_store.verify_failures += 1
+                    sweep_store.quarantined += 1
+                elif status == "error":
+                    sweep_store.degraded = store_obj.stats.degraded
+
     def _finish(partial, failures, retry_count):
         out = SweepResult(results.get(i) for i in range(len(tasks)))
         out.partial = bool(partial) or len(results) < len(tasks)
         out.failures = tuple(failures)
         out.retries = retry_count
         out.resumed = resumed
+        out.store = sweep_store.snapshot()
         if checkpoint is not None:
             if out.partial:
                 if results:
@@ -339,28 +486,40 @@ def run_trips(worker, tasks, workers=None, chunksize=1,
     if workers <= 1:
         return _run_serial(worker, tasks, pending, results, initializer,
                            initargs, retries, retry_backoff_s,
-                           checkpoint, fingerprint, _finish)
+                           checkpoint, fingerprint, _finish,
+                           store_call, sweep_store)
     return _run_pooled(worker, tasks, pending, results,
                        min(workers, len(pending)), initializer,
                        initargs, start_method, task_timeout_s, retries,
                        retry_backoff_s, checkpoint, fingerprint,
-                       _finish)
+                       _finish, store_call, sweep_store)
 
 
 def _run_serial(worker, tasks, pending, results, initializer, initargs,
                 retries, retry_backoff_s, checkpoint, fingerprint,
-                finish):
+                finish, store_call=None, sweep_store=None):
     """In-process sweep: same retry/checkpoint semantics, no pool."""
     if initializer is not None:
         initializer(*initargs)
     failures = []
     retry_count = 0
+
+    def _call(i):
+        if store_call is None:
+            return worker(tasks[i])
+        root, read_only, keys = store_call
+        _tag, delta, value = _store_task(
+            (root, read_only, keys[i], worker, tasks[i])
+        )
+        _merge_worker_store_stats(sweep_store, delta)
+        return value
+
     try:
         for i in pending:
             attempt = 0
             while True:
                 try:
-                    results[i] = worker(tasks[i])
+                    results[i] = _call(i)
                 except KeyboardInterrupt:
                     raise
                 except Exception as exc:
@@ -382,7 +541,8 @@ def _run_serial(worker, tasks, pending, results, initializer, initargs,
 
 def _run_pooled(worker, tasks, pending, results, workers, initializer,
                 initargs, start_method, task_timeout_s, retries,
-                retry_backoff_s, checkpoint, fingerprint, finish):
+                retry_backoff_s, checkpoint, fingerprint, finish,
+                store_call=None, sweep_store=None):
     """Process-pool sweep with crash/hang detection and retry.
 
     Tasks are dispatched individually (``apply_async``) so each has
@@ -423,7 +583,15 @@ def _run_pooled(worker, tasks, pending, results, workers, initializer,
             attempts[i] += 1
         deadline = (None if task_timeout_s is None
                     else time.monotonic() + float(task_timeout_s))
-        inflight[i] = (pool.apply_async(worker, (tasks[i],)), deadline)
+        if store_call is None:
+            handle = pool.apply_async(worker, (tasks[i],))
+        else:
+            root, read_only, keys = store_call
+            handle = pool.apply_async(
+                _store_task,
+                ((root, read_only, keys[i], worker, tasks[i]),),
+            )
+        inflight[i] = (handle, deadline)
 
     def fail_or_retry(i, reason):
         nonlocal retry_count
@@ -450,10 +618,15 @@ def _run_pooled(worker, tasks, pending, results, workers, initializer,
                     del inflight[i]
                     progressed = True
                     try:
-                        results[i] = handle.get()
+                        value = handle.get()
                     except Exception as exc:
                         fail_or_retry(i, f"raised {exc!r}")
                     else:
+                        if store_call is not None:
+                            _tag, delta, value = value
+                            _merge_worker_store_stats(sweep_store,
+                                                      delta)
+                        results[i] = value
                         if checkpoint is not None:
                             _checkpoint_store(checkpoint, fingerprint,
                                               results)
@@ -562,6 +735,10 @@ def _no_shared_banks():
 
 
 install_shared_banks.spawn_fallback = _no_shared_banks
+#: Shared banks are bit-identical to per-task builds (the standing
+#: perf-gate contract), so the registry never enters result-store key
+#: derivation: warm hits survive any bank-sharing choice.
+install_shared_banks.store_neutral = True
 
 
 def shared_bank_spec(testbed_seed, trips, prefill=True):
@@ -580,23 +757,69 @@ def shared_bank(testbed_seed, trip):
     return _shared_banks.get((int(testbed_seed), int(trip)))
 
 
-def build_shared_banks(testbed_seed, trips, prefill=True):
+def build_shared_banks(testbed_seed, trips, prefill=True, store=None):
     """Build one prefilled bank per trip for a ``run_trips`` sweep.
+
+    With a result store (explicit, installed, or named by
+    ``REPRO_RESULT_STORE``), each prefilled bank is memoized on disk
+    under (testbed identity, trip, prefill horizon): warm sweeps load
+    the bucket pages instead of recomputing the propagation stack,
+    with the store's verify-on-read discipline — a corrupt bank entry
+    is quarantined and rebuilt (bucket values are pure functions of
+    the key, so a rebuild is bit-identical).
 
     Returns:
         Mapping ``(testbed_seed, trip) -> LinkBank`` for
         :func:`install_shared_banks`, each prefilled to the trip's
         route duration when *prefill* is set.
     """
+    store_obj = repro_store.resolve_store(store)
     testbed = VanLanTestbed(seed=int(testbed_seed))
     banks = {}
     for trip in trips:
         motion = testbed.vehicle_motion()
-        banks[(int(testbed_seed), int(trip))] = testbed.build_link_bank(
-            trip, motion,
-            prefill_s=motion.route.duration if prefill else None,
-        )
+        prefill_s = motion.route.duration if prefill else None
+
+        def _build(trip=trip, motion=motion, prefill_s=prefill_s):
+            return testbed.build_link_bank(trip, motion,
+                                           prefill_s=prefill_s)
+
+        if store_obj is None:
+            bank = _build()
+        else:
+            key = repro_store.result_key(
+                "vanlan-link-bank", testbed.cache_token(), int(trip),
+                prefill_s,
+            )
+            bank = store_obj.get_or_compute(key, _build)
+        banks[(int(testbed_seed), int(trip))] = bank
     return banks
+
+
+def memoized_beacon_log(testbed, day, n_tours=1, store=None):
+    """A DieselNet beacon log, memoized through the result store.
+
+    Trace generation is a pure function of (testbed identity, day,
+    tours), so with a store every worker and every re-run after the
+    first loads the log instead of regenerating it — verified on
+    read, quarantined and regenerated when corrupt.  Without a store
+    (the default) this is exactly ``testbed.generate_beacon_log``.
+    """
+    store_obj = repro_store.resolve_store(store)
+    if store_obj is None:
+        return testbed.generate_beacon_log(day, n_tours=n_tours)
+    try:
+        key = repro_store.result_key(
+            "dieselnet-beacon-log", testbed.cache_token(), int(day),
+            int(n_tours),
+        )
+    except (repro_store.Uncacheable, AttributeError) as exc:
+        log.warning("beacon log for %r is not cacheable (%s); "
+                    "generating fresh", testbed, exc)
+        return testbed.generate_beacon_log(day, n_tours=n_tours)
+    return store_obj.get_or_compute(
+        key, lambda: testbed.generate_beacon_log(day, n_tours=n_tours)
+    )
 
 
 def vanlan_cbr_trip(task):

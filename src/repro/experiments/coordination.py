@@ -48,7 +48,8 @@ def _coordination_trip(trip):
     )
 
 
-def coordination_table(testbed, trips, seed=0, config=None, workers=None):
+def coordination_table(testbed, trips, seed=0, config=None, workers=None,
+                       store=None):
     """Table 1: coordination statistics from the VanLAN TCP workload.
 
     Trips fan out over :func:`~repro.experiments.common.run_trips`
@@ -63,7 +64,7 @@ def coordination_table(testbed, trips, seed=0, config=None, workers=None):
     """
     config = config or ViFiConfig()
     per_trip = run_trips(
-        _coordination_trip, list(trips), workers=workers,
+        _coordination_trip, list(trips), workers=workers, store=store,
         initializer=init_worker_state, initargs=(testbed, config, seed),
     )
     reports = {
@@ -118,7 +119,7 @@ def _formulation_task(task):
 
 
 def formulation_comparison(testbed, days=(0,), seed=0, n_tours=1,
-                           workers=None):
+                           workers=None, store=None):
     """Table 2: ViFi vs NotG1/NotG2/NotG3 on DieselNet Ch. 1 downstream.
 
     The (strategy, day) grid fans out over
@@ -132,7 +133,7 @@ def formulation_comparison(testbed, days=(0,), seed=0, n_tours=1,
     days = list(days)
     tasks = [(strategy, day) for strategy in strategies for day in days]
     per_task = iter(run_trips(
-        _formulation_task, tasks, workers=workers,
+        _formulation_task, tasks, workers=workers, store=store,
         initializer=init_worker_state, initargs=(testbed, seed, n_tours),
     ))
     results = {}

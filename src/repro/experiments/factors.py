@@ -55,7 +55,8 @@ def _speed_task(task):
                      seed=seed + int(speed))
 
 
-def density_sweep(seed=0, trip=0, subset_sizes=(3, 6, 11), workers=None):
+def density_sweep(seed=0, trip=0, subset_sizes=(3, 6, 11), workers=None,
+                  store=None):
     """Delivery vs number of deployed BSes.
 
     Returns:
@@ -64,13 +65,13 @@ def density_sweep(seed=0, trip=0, subset_sizes=(3, 6, 11), workers=None):
     sizes = list(subset_sizes)
     results = run_trips(
         _density_task, [(seed, trip, size) for size in sizes],
-        workers=workers,
+        workers=workers, store=store,
     )
     return dict(zip(sizes, results))
 
 
 def speed_sweep(seed=0, trip=0, speeds_kmh=(20.0, 40.0, 60.0),
-                workers=None):
+                workers=None, store=None):
     """Delivery vs vehicle speed.
 
     Returns:
@@ -79,6 +80,6 @@ def speed_sweep(seed=0, trip=0, speeds_kmh=(20.0, 40.0, 60.0),
     speeds = list(speeds_kmh)
     results = run_trips(
         _speed_task, [(seed, trip, speed) for speed in speeds],
-        workers=workers,
+        workers=workers, store=store,
     )
     return dict(zip(speeds, results))

@@ -118,7 +118,7 @@ def _faulted_task(task):
 def fault_intensity_sweep(intensities=(0.0, 1.0, 2.0), trip=0,
                           seeds=(0,), duration_s=60.0, base=BASE_FAULTS,
                           workers=None, checkpoint=None,
-                          task_timeout_s=None, retries=0):
+                          task_timeout_s=None, retries=0, store=None):
     """ViFi vs BRR as fault intensity rises (figure-style summary).
 
     Args:
@@ -142,7 +142,7 @@ def fault_intensity_sweep(intensities=(0.0, 1.0, 2.0), trip=0,
         for seed in seeds
     ]
     results = run_trips(_faulted_task, points, workers=workers,
-                        checkpoint=checkpoint,
+                        checkpoint=checkpoint, store=store,
                         task_timeout_s=task_timeout_s, retries=retries)
     merged = {}
     for point, result in zip(points, results):
@@ -163,7 +163,8 @@ def fault_intensity_sweep(intensities=(0.0, 1.0, 2.0), trip=0,
     return merged
 
 
-def fault_matrix_smoke(duration_s=15.0, trip=0, seed=0, workers=0):
+def fault_matrix_smoke(duration_s=15.0, trip=0, seed=0, workers=0,
+                       store=None):
     """Run ViFi once per :data:`FAULT_MATRIX` cell (CI smoke).
 
     Returns:
@@ -178,6 +179,6 @@ def fault_matrix_smoke(duration_s=15.0, trip=0, seed=0, workers=0):
         [{"protocol": "ViFi", "faults": FAULT_MATRIX[name],
           "trip": trip, "seed": seed, "duration_s": duration_s}
          for name in names],
-        workers=workers,
+        workers=workers, store=store,
     )
     return dict(zip(names, results))

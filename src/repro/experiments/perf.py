@@ -202,6 +202,10 @@ def run_workload(name):
     ``faults`` is always ``"none"``: perf workloads run the nominal
     world (no fault plane installed), and the field pins that so a
     future faulted benchmark cannot be confused with these baselines.
+    ``store`` is likewise pinned to all-zero counters: pinned
+    workloads never read the result store (a warm cache would turn a
+    perf measurement into a disk read), and the field makes that
+    explicit so a cached rate cannot masquerade as an engine speedup.
     """
     if name not in _BUILDERS:
         raise KeyError(f"unknown workload {name!r}; have {WORKLOADS}")
@@ -238,6 +242,7 @@ def run_workload(name):
         "sim_s_per_wall_s": round(sim_rate, 2),
         "estimator": "dict" if estimator_bank is None else "array",
         "faults": "none",
+        "store": {"hits": 0, "misses": 0, "verify_failures": 0},
         "estimator_fold_s": round(
             getattr(estimator_bank, "fold_wall_s", 0.0), 4
         ),
@@ -349,8 +354,11 @@ def run_trip_scaling(n_trips=4, duration_s=40.0, workers=None,
     ]
     # Per-task banks first (the registry must be empty for this leg).
     install_shared_banks({})
+    # store=False throughout: an ambient result store must never serve
+    # these sweeps, or the "parallel speedup" would be measuring warm
+    # cache reads instead of the pool.
     t0 = time.perf_counter()
-    fresh = run_trips(vanlan_cbr_trip, tasks, workers=1)
+    fresh = run_trips(vanlan_cbr_trip, tasks, workers=1, store=False)
     fresh_wall = time.perf_counter() - t0
     # One shared prefilled bank per trip, built once in the parent.
     t0 = time.perf_counter()
@@ -358,12 +366,13 @@ def run_trip_scaling(n_trips=4, duration_s=40.0, workers=None,
     bank_build_s = time.perf_counter() - t0
     try:
         t0 = time.perf_counter()
-        serial = run_trips(vanlan_cbr_trip, tasks, workers=1,
+        serial = run_trips(vanlan_cbr_trip, tasks, workers=1, store=False,
                            initializer=install_shared_banks,
                            initargs=(banks,))
         serial_wall = time.perf_counter() - t0
         t0 = time.perf_counter()
         parallel = run_trips(vanlan_cbr_trip, tasks, workers=workers,
+                             store=False,
                              initializer=install_shared_banks,
                              initargs=(banks,))
         parallel_wall = time.perf_counter() - t0
@@ -405,6 +414,7 @@ def run_trip_scaling(n_trips=4, duration_s=40.0, workers=None,
         "bank_share_task_speedup": round(fresh_wall / serial_wall, 2)
         if serial_wall > 0 else float("inf"),
         "shared_bank_identical": _sans_flag(serial) == _sans_flag(fresh),
+        "store": dict(parallel.store),
         "git_sha": git_sha(),
     }
 

@@ -101,7 +101,7 @@ def _session_trip_worker(trip):
 
 
 def policy_session_stats(testbed, trips, interval_s=1.0, min_ratio=0.5,
-                         n_training=4, workers=1):
+                         n_training=4, workers=1, store=None):
     """Figures 3/4 inputs: session lengths per policy over given trips.
 
     Trips are independent (trace randomness is keyed by the trip
@@ -124,6 +124,7 @@ def policy_session_stats(testbed, trips, interval_s=1.0, min_ratio=0.5,
         _session_trip_worker,
         list(trips),
         workers=workers,
+        store=store,
         initializer=_init_session_worker,
         initargs=(testbed, training, interval_s, min_ratio),
     )

@@ -15,6 +15,7 @@ from repro.experiments.common import (
     WARMUP_S,
     dieselnet_protocol,
     init_worker_state,
+    memoized_beacon_log,
     run_trips,
     vanlan_protocol,
     worker_state,
@@ -63,7 +64,7 @@ def _tcp_dieselnet_task(task):
     """One (variant, day) cell of Figure 10, summarized picklably."""
     name, day = task
     testbed, variants, seed, n_tours = worker_state()
-    log = testbed.generate_beacon_log(day, n_tours=n_tours)
+    log = memoized_beacon_log(testbed, day, n_tours=n_tours)
     rngs = RngRegistry(seed).spawn("tcp-dn", name, day)
     sim, duration = dieselnet_protocol(log, rngs, config=variants[name],
                                        seed=seed + day)
@@ -76,7 +77,8 @@ def _tcp_dieselnet_task(task):
     }
 
 
-def tcp_vanlan(testbed, trips, variants=None, seed=0, workers=None):
+def tcp_vanlan(testbed, trips, variants=None, seed=0, workers=None,
+               store=None):
     """Figure 9: median transfer time and transfers/session on VanLAN.
 
     Args:
@@ -92,7 +94,7 @@ def tcp_vanlan(testbed, trips, variants=None, seed=0, workers=None):
     trips = list(trips)
     tasks = [(name, trip) for name in variants for trip in trips]
     per_task = iter(run_trips(
-        _tcp_vanlan_task, tasks, workers=workers,
+        _tcp_vanlan_task, tasks, workers=workers, store=store,
         initializer=init_worker_state, initargs=(testbed, variants, seed),
     ))
     results = {}
@@ -122,7 +124,7 @@ def tcp_vanlan(testbed, trips, variants=None, seed=0, workers=None):
 
 
 def tcp_dieselnet(testbed, days=(0,), variants=None, seed=0,
-                  n_tours=1, workers=None):
+                  n_tours=1, workers=None, store=None):
     """Figure 10: TCP transfers/second on DieselNet (trace-driven).
 
     Args:
@@ -139,7 +141,7 @@ def tcp_dieselnet(testbed, days=(0,), variants=None, seed=0,
     days = list(days)
     tasks = [(name, day) for name in variants for day in days]
     per_task = iter(run_trips(
-        _tcp_dieselnet_task, tasks, workers=workers,
+        _tcp_dieselnet_task, tasks, workers=workers, store=store,
         initializer=init_worker_state,
         initargs=(testbed, variants, seed, n_tours),
     ))

@@ -15,6 +15,7 @@ from repro.experiments.common import (
     WARMUP_S,
     dieselnet_protocol,
     init_worker_state,
+    memoized_beacon_log,
     run_trips,
     vanlan_protocol,
     worker_state,
@@ -58,7 +59,7 @@ def _voip_vanlan_task(task):
 def _voip_dieselnet_task(task):
     name, day = task
     testbed, variants, seed, n_tours = worker_state()
-    log = testbed.generate_beacon_log(day, n_tours=n_tours)
+    log = memoized_beacon_log(testbed, day, n_tours=n_tours)
     rngs = RngRegistry(seed).spawn("voip-dn", name, day)
     sim, duration = dieselnet_protocol(log, rngs, config=variants[name],
                                        seed=seed + day)
@@ -83,7 +84,8 @@ def _pooled(variants, units, per_task):
     return results
 
 
-def voip_vanlan(testbed, trips, variants=None, seed=0, workers=None):
+def voip_vanlan(testbed, trips, variants=None, seed=0, workers=None,
+                store=None):
     """Figure 11(a): median uninterrupted VoIP session on VanLAN.
 
     Args:
@@ -100,14 +102,14 @@ def voip_vanlan(testbed, trips, variants=None, seed=0, workers=None):
     trips = list(trips)
     tasks = [(name, trip) for name in variants for trip in trips]
     per_task = run_trips(
-        _voip_vanlan_task, tasks, workers=workers,
+        _voip_vanlan_task, tasks, workers=workers, store=store,
         initializer=init_worker_state, initargs=(testbed, variants, seed),
     )
     return _pooled(variants, trips, per_task)
 
 
 def voip_dieselnet(testbed, days=(0,), variants=None, seed=0, n_tours=1,
-                   workers=None):
+                   workers=None, store=None):
     """Figure 11(b,c): VoIP sessions on DieselNet (trace-driven)."""
     if variants is None:
         base = ViFiConfig()
@@ -115,7 +117,7 @@ def voip_dieselnet(testbed, days=(0,), variants=None, seed=0, n_tours=1,
     days = list(days)
     tasks = [(name, day) for name in variants for day in days]
     per_task = run_trips(
-        _voip_dieselnet_task, tasks, workers=workers,
+        _voip_dieselnet_task, tasks, workers=workers, store=store,
         initializer=init_worker_state,
         initargs=(testbed, variants, seed, n_tours),
     )

@@ -105,6 +105,10 @@ class RadioProfile:
         self.gray_duration_s = gray_duration_s
         self.gray_residual_reception = gray_residual_reception
 
+    def cache_token(self):
+        """Identity for content-addressed caching (see repro.store)."""
+        return ("RadioProfile",) + tuple(sorted(self.__dict__.items()))
+
     def mean_rssi(self, distance_m):
         """Mean RSSI (dBm) at *distance_m* via log-distance path loss."""
         d = max(float(distance_m), 1.0)

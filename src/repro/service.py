@@ -1,0 +1,434 @@
+"""A hardened local experiment service on top of the result store.
+
+:class:`ExperimentService` is a small in-process job queue for the
+figure sweeps: callers submit named experiment runs, a bounded pool of
+worker threads executes them, and completed results are memoized in a
+:class:`repro.store.ResultStore` so a repeated request is served from
+disk without recomputation.
+
+The service is deliberately defensive — it is the layer that keeps a
+long experiment campaign alive when individual requests misbehave:
+
+* **Bounded concurrency and backpressure.**  At most ``workers`` jobs
+  run at once and at most ``queue_limit`` wait; beyond that
+  :meth:`submit` raises :class:`ServiceSaturated` instead of letting
+  the backlog grow without bound.
+* **Per-request deadlines.**  A job whose deadline passes while it is
+  still queued is expired without running.  Running jobs are handled
+  cooperatively: runners that accept a ``context`` argument can poll
+  :meth:`JobContext.should_stop` and bail out early; either way the
+  job is marked ``expired`` when it finishes past its deadline.
+* **Cancellation.**  Queued jobs cancel immediately; running jobs get
+  the same cooperative stop signal.
+* **Failure capture.**  A runner that raises marks only its own job
+  ``failed`` (traceback preserved on the record); the worker thread
+  and every other job keep going.
+* **Graceful store degradation.**  If the store is unavailable,
+  read-only, or corrupt the service logs once and falls through to
+  computing — a broken cache never takes the service down.
+
+Transport is out of scope here: this is the in-process core that an
+HTTP front end can wrap later.  ``python -m repro serve`` exposes a
+line-oriented stdin/stdout harness over the same API (one JSON job
+request per line, one JSON result per line).
+"""
+
+import argparse
+import itertools
+import json
+import logging
+import queue
+import sys
+import threading
+import time
+import traceback
+
+from repro import store as repro_store
+
+__all__ = [
+    "ExperimentService",
+    "Job",
+    "JobContext",
+    "ServiceClosed",
+    "ServiceSaturated",
+    "register_runner",
+    "runner_names",
+    "main_serve",
+]
+
+log = logging.getLogger("repro.service")
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+EXPIRED = "expired"
+
+_TERMINAL = frozenset({DONE, FAILED, CANCELLED, EXPIRED})
+
+
+class ServiceSaturated(RuntimeError):
+    """The queue is full; the caller should back off and retry."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service is shut down and accepts no further jobs."""
+
+
+class JobContext:
+    """Cooperative control surface handed to context-aware runners."""
+
+    def __init__(self, job):
+        self._job = job
+
+    def should_stop(self):
+        """True once the job is cancelled or past its deadline."""
+        return self._job.stop_event.is_set() or self._job.past_deadline()
+
+    def deadline_remaining(self):
+        """Seconds until the deadline, or ``None`` if unbounded."""
+        if self._job.deadline is None:
+            return None
+        return max(0.0, self._job.deadline - time.monotonic())
+
+
+class Job:
+    """One submitted experiment request and its lifecycle record."""
+
+    def __init__(self, job_id, name, params, deadline_s):
+        self.id = job_id
+        self.name = name
+        self.params = dict(params or {})
+        self.state = QUEUED
+        self.result = None
+        self.error = None
+        self.cached = False
+        self.submitted = time.monotonic()
+        self.started = None
+        self.finished = None
+        self.deadline = (None if deadline_s is None
+                         else self.submitted + float(deadline_s))
+        self.stop_event = threading.Event()
+        self.done_event = threading.Event()
+
+    def past_deadline(self):
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def snapshot(self):
+        """A JSON-friendly view of the job record."""
+        out = {"id": self.id, "runner": self.name, "state": self.state,
+               "cached": self.cached}
+        if self.error is not None:
+            out["error"] = self.error
+        if self.started is not None and self.finished is not None:
+            out["elapsed_s"] = round(self.finished - self.started, 6)
+        return out
+
+
+#: Registry of named experiment runners: name -> callable(**params).
+_RUNNERS = {}
+
+
+def register_runner(name, fn):
+    """Register (or replace) a named experiment runner."""
+    _RUNNERS[str(name)] = fn
+    return fn
+
+
+def runner_names():
+    return sorted(_RUNNERS)
+
+
+def _density_sweep(**params):
+    from repro.experiments.factors import density_sweep
+    return density_sweep(**params)
+
+
+def _speed_sweep(**params):
+    from repro.experiments.factors import speed_sweep
+    return speed_sweep(**params)
+
+
+def _fault_matrix_smoke(**params):
+    from repro.experiments.faulted import fault_matrix_smoke
+    return fault_matrix_smoke(**params)
+
+
+def _tcp_vanlan(testbed_seed=5, trips=(0,), seed=0, **params):
+    from repro.experiments.tcpbench import tcp_vanlan
+    from repro.testbeds.vanlan import VanLanTestbed
+    testbed = VanLanTestbed(seed=int(testbed_seed))
+    return tcp_vanlan(testbed, trips=tuple(trips), seed=seed, **params)
+
+
+def _voip_vanlan(testbed_seed=5, trips=(0,), seed=0, **params):
+    from repro.experiments.voipbench import voip_vanlan
+    from repro.testbeds.vanlan import VanLanTestbed
+    testbed = VanLanTestbed(seed=int(testbed_seed))
+    return voip_vanlan(testbed, trips=tuple(trips), seed=seed, **params)
+
+
+register_runner("density_sweep", _density_sweep)
+register_runner("speed_sweep", _speed_sweep)
+register_runner("fault_matrix_smoke", _fault_matrix_smoke)
+register_runner("tcp_vanlan", _tcp_vanlan)
+register_runner("voip_vanlan", _voip_vanlan)
+
+
+class ExperimentService:
+    """Bounded-concurrency, store-backed experiment job queue.
+
+    Args:
+        store: result store for job memoization — a
+            :class:`~repro.store.ResultStore`, a path, ``None`` for the
+            ambient default, or ``False`` to disable caching.
+        workers: number of worker threads (>= 1).
+        queue_limit: max queued-but-not-running jobs before
+            :meth:`submit` raises :class:`ServiceSaturated`.
+        default_deadline_s: deadline applied to jobs submitted without
+            an explicit one (``None`` = unbounded).
+    """
+
+    def __init__(self, store=None, workers=2, queue_limit=16,
+                 default_deadline_s=None):
+        self.store = repro_store.resolve_store(store)
+        self.default_deadline_s = default_deadline_s
+        self._queue = queue.Queue(maxsize=max(1, int(queue_limit)))
+        self._jobs = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-service-{i}", daemon=True)
+            for i in range(max(1, int(workers)))
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission / querying ------------------------------------------
+
+    def submit(self, name, params=None, deadline_s=None):
+        """Queue a job; returns its id.
+
+        Raises:
+            ServiceClosed: the service has been shut down.
+            ServiceSaturated: the queue is at ``queue_limit``.
+            KeyError: *name* is not a registered runner.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        if name not in _RUNNERS:
+            raise KeyError(f"unknown runner {name!r}; "
+                           f"known: {runner_names()}")
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        with self._lock:
+            job = Job(next(self._ids), name, params, deadline_s)
+            self._jobs[job.id] = job
+        try:
+            self._queue.put_nowait(job.id)
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job.id]
+            raise ServiceSaturated(
+                f"queue full ({self._queue.maxsize} pending)") from None
+        return job.id
+
+    def job(self, job_id):
+        with self._lock:
+            return self._jobs[job_id]
+
+    def status(self, job_id):
+        return self.job(job_id).snapshot()
+
+    def wait(self, job_id, timeout=None):
+        """Block until the job reaches a terminal state; returns it."""
+        job = self.job(job_id)
+        job.done_event.wait(timeout)
+        return job
+
+    def cancel(self, job_id):
+        """Request cancellation; immediate for queued jobs.
+
+        Returns True if the job is (or will be treated as) cancelled.
+        """
+        job = self.job(job_id)
+        job.stop_event.set()
+        with self._lock:
+            if job.state == QUEUED:
+                self._finish(job, CANCELLED)
+                return True
+        return job.state in (CANCELLED, QUEUED, RUNNING)
+
+    def stats(self):
+        """Counts by state plus store counters."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        counts = {s: 0 for s in (QUEUED, RUNNING, DONE, FAILED,
+                                 CANCELLED, EXPIRED)}
+        for job in jobs:
+            counts[job.state] += 1
+        counts["store"] = (self.store.stats.snapshot() if self.store
+                           else repro_store.StoreStats().snapshot())
+        return counts
+
+    def close(self, wait=True):
+        """Stop accepting jobs; optionally wait for workers to drain."""
+        self._closed = True
+        for _ in self._threads:
+            try:
+                self._queue.put_nowait(None)
+            except queue.Full:
+                break
+        if wait:
+            for t in self._threads:
+                t.join(timeout=30.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- worker side ----------------------------------------------------
+
+    def _finish(self, job, state, result=None, error=None):
+        job.state = state
+        job.result = result
+        job.error = error
+        job.finished = time.monotonic()
+        job.done_event.set()
+
+    def _worker_loop(self):
+        while True:
+            try:
+                # Bounded wait so shutdown is never wedged by a full
+                # queue that rejected the close() sentinel.
+                job_id = self._queue.get(timeout=0.25)
+            except queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if job_id is None:
+                return
+            job = self.job(job_id)
+            with self._lock:
+                if job.state != QUEUED:
+                    continue  # cancelled while queued
+                if job.past_deadline():
+                    self._finish(job, EXPIRED,
+                                 error="deadline passed while queued")
+                    continue
+                job.state = RUNNING
+                job.started = time.monotonic()
+            try:
+                result = self._execute(job)
+            except Exception as exc:  # noqa: BLE001 — capture, don't die
+                log.warning("job %d (%s) failed: %s", job.id, job.name, exc)
+                self._finish(job, FAILED,
+                             error="".join(traceback.format_exception(
+                                 type(exc), exc, exc.__traceback__)))
+                continue
+            if job.stop_event.is_set():
+                self._finish(job, CANCELLED, error="cancelled while running")
+            elif job.past_deadline():
+                self._finish(job, EXPIRED, error="deadline exceeded")
+            else:
+                self._finish(job, DONE, result=result)
+
+    def _execute(self, job):
+        runner = _RUNNERS[job.name]
+        kwargs = dict(job.params)
+        if getattr(runner, "accepts_context", False):
+            kwargs["context"] = JobContext(job)
+
+        def compute():
+            return runner(**kwargs)
+
+        if self.store is None:
+            return compute()
+        try:
+            key = repro_store.result_key(
+                "service-job", job.name, sorted(job.params.items()))
+        except repro_store.Uncacheable as exc:
+            log.info("job %d (%s) not cacheable (%s); computing",
+                     job.id, job.name, exc)
+            return compute()
+        before = self.store.stats.hits
+        try:
+            value = self.store.get_or_compute(key, compute)
+        except OSError as exc:  # store layer degrades; double belt
+            log.warning("store failure for job %d (%s): %s; computing",
+                        job.id, job.name, exc)
+            return compute()
+        job.cached = self.store.stats.hits > before
+        return value
+
+
+def main_serve(argv=None):
+    """``python -m repro serve``: line-oriented service harness.
+
+    Reads one JSON object per stdin line —
+    ``{"runner": name, "params": {...}, "deadline_s": 5.0}`` — submits
+    each to an :class:`ExperimentService`, and prints one JSON result
+    line per job in submission order.  Exits non-zero if any job
+    failed.  ``--list`` prints the registered runners instead.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run experiment jobs from stdin JSON lines.")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="result-store directory (default: "
+                             "$REPRO_RESULT_STORE, else no cache)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-limit", type=int, default=16)
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="default per-job deadline")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered runners and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in runner_names():
+            print(name)
+        return 0
+
+    store = args.store if args.store is not None else None
+    service = ExperimentService(store=store, workers=args.workers,
+                                queue_limit=args.queue_limit,
+                                default_deadline_s=args.deadline)
+    job_ids = []
+    failed = 0
+    with service:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                request = json.loads(line)
+                job_ids.append(service.submit(
+                    request["runner"], request.get("params"),
+                    deadline_s=request.get("deadline_s")))
+            except (ValueError, KeyError, ServiceSaturated) as exc:
+                failed += 1
+                print(json.dumps({"state": "rejected", "error": str(exc),
+                                  "line": line}))
+        for job_id in job_ids:
+            job = service.wait(job_id)
+            out = job.snapshot()
+            if job.state == DONE:
+                out["result"] = job.result
+            print(json.dumps(out, default=str))
+            if job.state != DONE:
+                failed += 1
+        summary = service.stats()
+    print(json.dumps({"summary": summary}), file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_serve())

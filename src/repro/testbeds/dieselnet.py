@@ -138,6 +138,12 @@ class DieselNetTestbed:
             for bs in self.deployment.bs_ids
         }
 
+    def cache_token(self):
+        """Identity for content-addressed caching (see repro.store)."""
+        return ("DieselNetTestbed", self.channel, self.seed,
+                self.bus_speed_mps, self.beacons_per_second,
+                self.profile, self.deployment)
+
     def make_route(self, n_tours=1):
         """A bus tour (optionally repeated) with stops on main street."""
         waypoints = list(_BUS_WAYPOINTS)

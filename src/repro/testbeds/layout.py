@@ -22,6 +22,11 @@ class Deployment:
                              for k, (x, y) in bs_positions.items()}
         self.bounds = (float(bounds[0]), float(bounds[1]))
 
+    def cache_token(self):
+        """Identity for content-addressed caching (see repro.store)."""
+        return ("Deployment", self.name,
+                sorted(self.bs_positions.items()), self.bounds)
+
     @property
     def bs_ids(self):
         return sorted(self.bs_positions.keys())

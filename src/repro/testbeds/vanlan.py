@@ -140,6 +140,17 @@ class VanLanTestbed:
             for bs in self.deployment.bs_ids
         }
 
+    def cache_token(self):
+        """Identity for content-addressed caching (see repro.store).
+
+        Everything stochastic in a trip is a pure function of this
+        identity plus the trip index, so results and memoized physics
+        keyed by it are safe to share across processes and runs.
+        """
+        return ("VanLanTestbed", self.seed, self.speed_mps,
+                self.probes_per_second, self.profile,
+                self.interbs_profile, self.deployment)
+
     # ------------------------------------------------------------------
     # Geometry
     # ------------------------------------------------------------------

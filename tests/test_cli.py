@@ -26,3 +26,31 @@ def test_fig05_runs_and_emits_json(capsys):
     for env in payload.values():
         histogram = env["histogram(>=1 beacon)"]
         assert sum(histogram) > 0
+
+
+def test_list_mentions_store_and_serve(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "store" in out and "serve" in out
+
+
+def test_store_stats_subcommand(capsys, tmp_path):
+    from repro.store import ResultStore, result_key
+
+    store = ResultStore(tmp_path)
+    store.put(result_key("cli-test", 1), {"v": 1})
+    assert main(["store", "stats", "--dir", str(tmp_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["entries"] == 1
+    assert payload["quarantined"] == 0
+
+    assert main(["store", "verify", "--dir", str(tmp_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verified_ok"] == 1
+
+
+def test_serve_list_subcommand(capsys):
+    assert main(["serve", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "density_sweep" in out
+    assert "tcp_vanlan" in out

@@ -1,0 +1,223 @@
+"""The hardened experiment service: queueing, deadlines, degradation.
+
+Uses tiny registered runners (no simulation) so every lifecycle edge —
+backpressure, deadline expiry, cancellation, failure capture, store
+memoization — is exercised in well under a second.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    ExperimentService,
+    ServiceClosed,
+    ServiceSaturated,
+    register_runner,
+    runner_names,
+)
+from repro.store import ResultStore
+
+
+def _register_toys():
+    events = {"computes": 0}
+
+    def quick(x=1):
+        events["computes"] += 1
+        return {"doubled": x * 2}
+
+    def failing():
+        raise ValueError("injected failure")
+
+    gate = threading.Event()
+
+    def gated():
+        gate.wait(10.0)
+        return "released"
+
+    def cooperative(context=None, budget=200):
+        for _ in range(budget):
+            if context is not None and context.should_stop():
+                return "stopped early"
+            time.sleep(0.005)
+        return "ran to completion"
+
+    cooperative.accepts_context = True
+
+    register_runner("_test_quick", quick)
+    register_runner("_test_failing", failing)
+    register_runner("_test_gated", gated)
+    register_runner("_test_cooperative", cooperative)
+    return events, gate
+
+
+class TestLifecycle:
+    def test_submit_and_result(self, tmp_path):
+        _register_toys()
+        with ExperimentService(store=False, workers=2) as svc:
+            job = svc.wait(svc.submit("_test_quick", {"x": 21}))
+            assert job.state == "done"
+            assert job.result == {"doubled": 42}
+            snap = job.snapshot()
+            assert snap["state"] == "done" and "elapsed_s" in snap
+
+    def test_unknown_runner_rejected(self):
+        _register_toys()
+        with ExperimentService(store=False) as svc:
+            with pytest.raises(KeyError, match="unknown runner"):
+                svc.submit("no-such-runner")
+
+    def test_failure_captured_service_survives(self):
+        _register_toys()
+        with ExperimentService(store=False, workers=1) as svc:
+            failed = svc.wait(svc.submit("_test_failing"))
+            assert failed.state == "failed"
+            assert "injected failure" in failed.error
+            # The worker thread survived the exception.
+            ok = svc.wait(svc.submit("_test_quick", {"x": 1}))
+            assert ok.state == "done"
+            assert svc.stats()["failed"] == 1
+
+    def test_backpressure_saturates_not_grows(self):
+        events, gate = _register_toys()
+        svc = ExperimentService(store=False, workers=1, queue_limit=2)
+        try:
+            blocker = svc.submit("_test_gated")
+            accepted = []
+            with pytest.raises(ServiceSaturated):
+                for i in range(20):
+                    accepted.append(svc.submit("_test_quick", {"x": i}))
+            assert len(accepted) <= 3  # queue_limit + pickup slack
+            gate.set()
+            assert svc.wait(blocker, timeout=10).state == "done"
+            for job_id in accepted:
+                assert svc.wait(job_id, timeout=10).state == "done"
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_rejected_submit_leaves_no_record(self):
+        events, gate = _register_toys()
+        svc = ExperimentService(store=False, workers=1, queue_limit=1)
+        try:
+            svc.submit("_test_gated")
+            ids = []
+            try:
+                while True:
+                    ids.append(svc.submit("_test_quick"))
+            except ServiceSaturated:
+                pass
+            counts = svc.stats()
+            tracked = sum(counts[s] for s in
+                          ("queued", "running", "done", "failed",
+                           "cancelled", "expired"))
+            assert tracked == 1 + len(ids)
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_deadline_expires_queued_job(self):
+        events, gate = _register_toys()
+        svc = ExperimentService(store=False, workers=1)
+        try:
+            blocker = svc.submit("_test_gated")
+            doomed = svc.submit("_test_quick", deadline_s=0.01)
+            time.sleep(0.05)
+            gate.set()
+            job = svc.wait(doomed, timeout=10)
+            assert job.state == "expired"
+            assert events["computes"] == 0  # never ran
+            svc.wait(blocker, timeout=10)
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_deadline_cooperative_for_running_job(self):
+        _register_toys()
+        with ExperimentService(store=False, workers=1) as svc:
+            job = svc.wait(svc.submit("_test_cooperative",
+                                      deadline_s=0.05), timeout=15)
+            assert job.state == "expired"
+            assert job.result is None  # past-deadline result withheld
+
+    def test_cancel_queued_and_running(self):
+        events, gate = _register_toys()
+        svc = ExperimentService(store=False, workers=1)
+        try:
+            running = svc.submit("_test_cooperative")
+            queued = svc.submit("_test_quick")
+            assert svc.cancel(queued)
+            assert svc.wait(queued, timeout=10).state == "cancelled"
+            assert events["computes"] == 0
+            time.sleep(0.05)  # let the cooperative job start
+            svc.cancel(running)
+            job = svc.wait(running, timeout=15)
+            assert job.state == "cancelled"
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_closed_service_rejects(self):
+        _register_toys()
+        svc = ExperimentService(store=False)
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit("_test_quick")
+
+
+class TestStoreIntegration:
+    def test_repeat_request_served_from_store(self, tmp_path):
+        events, _ = _register_toys()
+        with ExperimentService(store=tmp_path, workers=1) as svc:
+            first = svc.wait(svc.submit("_test_quick", {"x": 5}))
+            second = svc.wait(svc.submit("_test_quick", {"x": 5}))
+            other = svc.wait(svc.submit("_test_quick", {"x": 6}))
+            assert first.result == second.result == {"doubled": 10}
+            assert other.result == {"doubled": 12}
+            assert events["computes"] == 2  # x=5 computed once
+            assert not first.cached and second.cached and not other.cached
+            assert svc.stats()["store"]["hits"] == 1
+
+    def test_warm_store_survives_service_restart(self, tmp_path):
+        events, _ = _register_toys()
+        with ExperimentService(store=tmp_path, workers=1) as svc:
+            svc.wait(svc.submit("_test_quick", {"x": 9}))
+        computes = events["computes"]
+        with ExperimentService(store=tmp_path, workers=1) as svc:
+            job = svc.wait(svc.submit("_test_quick", {"x": 9}))
+            assert job.result == {"doubled": 18}
+            assert job.cached
+        assert events["computes"] == computes
+
+    def test_degraded_store_still_serves(self, tmp_path):
+        _register_toys()
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not dir")
+        store = ResultStore(blocker / "store")
+        with ExperimentService(store=store, workers=1) as svc:
+            job = svc.wait(svc.submit("_test_quick", {"x": 2}))
+            assert job.state == "done"
+            assert job.result == {"doubled": 4}
+            assert svc.stats()["store"]["degraded"]
+
+    def test_uncacheable_params_compute_uncached(self, tmp_path):
+        class Opaque:
+            pass
+
+        def opaque_runner(blob=None):
+            return "computed"
+
+        register_runner("_test_opaque", opaque_runner)
+        with ExperimentService(store=tmp_path, workers=1) as svc:
+            job = svc.wait(svc.submit("_test_opaque",
+                                      {"blob": Opaque()}))
+            assert job.state == "done" and job.result == "computed"
+            assert svc.stats()["store"]["misses"] == 0
+
+    def test_builtin_runners_registered(self):
+        names = runner_names()
+        for expected in ("density_sweep", "speed_sweep",
+                         "fault_matrix_smoke", "tcp_vanlan",
+                         "voip_vanlan"):
+            assert expected in names

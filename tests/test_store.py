@@ -1,0 +1,368 @@
+"""The durable result store: records, keys, corruption, concurrency.
+
+Workers live at module level (process pickling).  The corruption tests
+damage stored bytes directly — every damaged read must surface as a
+detected miss (quarantine + recompute), never as an exception or a
+wrong value.
+"""
+
+import json
+import multiprocessing
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ViFiConfig
+from repro.store import (
+    CODE_VERSION,
+    MAGIC,
+    MISS,
+    SCHEMA_VERSION,
+    ResultStore,
+    StoreCorruption,
+    Uncacheable,
+    canonical_token,
+    read_record,
+    resolve_store,
+    result_key,
+    set_default_store,
+    write_record,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# Record format
+# ----------------------------------------------------------------------
+
+class TestRecordFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "entry.rec"
+        payload = {"rates": [0.1, 0.2], "n": 3, "none": None}
+        write_record(path, payload, key="k1")
+        assert read_record(path, expected_key="k1") == payload
+
+    def test_missing_file_is_plain_miss(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_record(tmp_path / "absent.rec")
+
+    def test_key_mismatch_detected(self, tmp_path):
+        path = tmp_path / "entry.rec"
+        write_record(path, 42, key="k1")
+        with pytest.raises(StoreCorruption, match="key mismatch"):
+            read_record(path, expected_key="other")
+
+    def test_byte_flip_detected_at_every_region(self, tmp_path):
+        """Magic, header, and payload corruption are all caught."""
+        path = tmp_path / "entry.rec"
+        write_record(path, list(range(100)), key="k1")
+        pristine = path.read_bytes()
+        # One flip in the magic, one in the header, several through
+        # the payload including first and last byte.
+        offsets = [0, len(MAGIC) + 2,
+                   len(pristine) - 1, len(pristine) // 2,
+                   len(pristine) - 40]
+        for offset in offsets:
+            data = bytearray(pristine)
+            data[offset] ^= 0x01
+            path.write_bytes(bytes(data))
+            with pytest.raises(StoreCorruption):
+                read_record(path, expected_key="k1")
+        path.write_bytes(pristine)  # untouched copy still reads
+        assert read_record(path, expected_key="k1") == list(range(100))
+
+    def test_truncation_detected_at_every_length(self, tmp_path):
+        path = tmp_path / "entry.rec"
+        write_record(path, b"x" * 256, key="k1")
+        pristine = path.read_bytes()
+        for keep in (0, 4, len(MAGIC), len(MAGIC) + 10,
+                     len(pristine) - 1):
+            path.write_bytes(pristine[:keep])
+            with pytest.raises(StoreCorruption):
+                read_record(path, expected_key="k1")
+
+    def test_schema_mismatch_detected(self, tmp_path):
+        """A crafted header from a future schema is rejected."""
+        path = tmp_path / "entry.rec"
+        blob = pickle.dumps("value")
+        import hashlib
+        header = json.dumps({
+            "schema": SCHEMA_VERSION + 1, "key": "k1",
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "length": len(blob),
+        }).encode() + b"\n"
+        path.write_bytes(MAGIC + header + blob)
+        with pytest.raises(StoreCorruption, match="schema mismatch"):
+            read_record(path, expected_key="k1")
+
+    def test_atomic_write_replaces_no_temp_left(self, tmp_path):
+        path = tmp_path / "entry.rec"
+        write_record(path, 1, key="k")
+        write_record(path, 2, key="k")
+        assert read_record(path, expected_key="k") == 2
+        leftovers = [p for p in os.listdir(tmp_path)
+                     if p.startswith(".tmp-")]
+        assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Canonical tokens and key hygiene
+# ----------------------------------------------------------------------
+
+class TestKeyHygiene:
+    def test_primitive_types_are_distinct(self):
+        tokens = [canonical_token(v)
+                  for v in (True, 1, "1", 1.0, None, b"1")]
+        assert len({json.dumps(t) for t in tokens}) == len(tokens)
+
+    def test_dict_order_is_irrelevant(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert canonical_token(a) == canonical_token(b)
+
+    def test_list_and_tuple_tokenize_identically(self):
+        assert canonical_token([1, 2]) == canonical_token((1, 2))
+
+    def test_numpy_array_content_addressed(self):
+        a = np.arange(5, dtype=np.float64)
+        b = np.arange(5, dtype=np.float64)
+        c = np.arange(5, dtype=np.float32)
+        assert canonical_token(a) == canonical_token(b)
+        assert canonical_token(a) != canonical_token(c)
+        b[3] = 99.0
+        assert canonical_token(a) != canonical_token(b)
+
+    def test_uncacheable_objects_raise(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(Uncacheable):
+            canonical_token(Opaque())
+
+    def test_every_config_field_changes_the_key(self):
+        """Any ViFiConfig field change lands on a different entry."""
+        from dataclasses import fields, replace
+
+        base = ViFiConfig()
+        base_key = result_key("sweep", base, 0)
+        seen = {base_key}
+        for field in fields(ViFiConfig):
+            value = getattr(base, field.name)
+            if isinstance(value, bool):
+                bumped = not value
+            elif isinstance(value, int):
+                bumped = value + 1
+            elif isinstance(value, float):
+                bumped = value + 0.5
+            elif isinstance(value, str):
+                bumped = value + "-x"
+            else:  # pragma: no cover - future field types
+                continue
+            key = result_key("sweep", replace(base,
+                                              **{field.name: bumped}), 0)
+            assert key not in seen, (
+                f"changing {field.name} did not change the key"
+            )
+            seen.add(key)
+
+    def test_seed_and_kind_change_the_key(self):
+        assert result_key("sweep", 0) != result_key("sweep", 1)
+        assert result_key("sweep", 0) != result_key("other", 0)
+
+    def test_version_bumps_change_the_key(self):
+        base = result_key("sweep", 0)
+        assert result_key("sweep", 0,
+                          schema_version=SCHEMA_VERSION + 1) != base
+        assert result_key("sweep", 0,
+                          code_version=CODE_VERSION + ".next") != base
+
+    def test_testbed_cache_tokens_cover_identity(self):
+        from repro.testbeds.dieselnet import DieselNetTestbed
+        from repro.testbeds.vanlan import VanLanTestbed
+
+        assert result_key("t", VanLanTestbed(seed=0)) \
+            != result_key("t", VanLanTestbed(seed=1))
+        assert result_key("t", DieselNetTestbed(channel=1, seed=0)) \
+            != result_key("t", DieselNetTestbed(channel=6, seed=0))
+
+
+# ----------------------------------------------------------------------
+# The store: counters, quarantine, read-only, degradation
+# ----------------------------------------------------------------------
+
+class TestResultStore:
+    def test_get_put_roundtrip_and_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key("t", 1)
+        assert store.get(key) is MISS
+        assert store.put(key, {"v": 1})
+        assert store.get(key) == {"v": 1}
+        assert store.get(key, default=None) == {"v": 1}
+        snap = store.stats.snapshot()
+        assert snap["hits"] == 2 and snap["misses"] == 1
+        assert snap["writes"] == 1
+
+    def test_none_is_a_legitimate_value(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key("t", "none")
+        store.put(key, None)
+        assert store.get(key) is None
+        assert store.get(key) is not MISS
+
+    def test_get_or_compute_counts_one_hit_or_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key("t", 2)
+        calls = []
+        assert store.get_or_compute(key, lambda: calls.append(1) or 7) == 7
+        assert store.get_or_compute(key, lambda: calls.append(1) or 7) == 7
+        assert len(calls) == 1
+        snap = store.stats.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = result_key("t", 3)
+        store.put(key, "good")
+        path = store.object_path(key)
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        assert store.get_or_compute(key, lambda: "recomputed") \
+            == "recomputed"
+        snap = store.stats.snapshot()
+        assert snap["verify_failures"] == 1
+        assert snap["quarantined"] == 1
+        assert store.quarantine_count() == 1
+        # Healed: the recomputed entry serves warm.
+        assert store.get(key) == "recomputed"
+
+    def test_read_only_serves_hits_never_writes(self, tmp_path):
+        writer = ResultStore(tmp_path)
+        key = result_key("t", 4)
+        writer.put(key, 11)
+        reader = ResultStore(tmp_path, read_only=True)
+        assert reader.get(key) == 11
+        other = result_key("t", 5)
+        assert reader.get_or_compute(other, lambda: 22) == 22
+        assert reader.stats.write_skips == 1
+        assert writer.get(other) is MISS  # nothing was written
+
+    def test_unusable_root_degrades_not_raises(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not dir")
+        store = ResultStore(blocker / "store")
+        key = result_key("t", 6)
+        assert store.get(key) is MISS
+        assert store.get_or_compute(key, lambda: 33) == 33
+        assert not store.put(key, 33)
+        assert store.stats.degraded
+        assert store.entry_count() == 0
+
+    def test_verify_all_quarantines_only_bad_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [result_key("t", i) for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, i)
+        path = store.object_path(keys[1])
+        data = bytearray(open(path, "rb").read())
+        data[-2] ^= 0x10
+        open(path, "wb").write(bytes(data))
+        ok, quarantined = store.verify_all()
+        assert ok == 2
+        assert quarantined == 1
+        assert store.get(keys[0]) == 0
+        assert store.get(keys[2]) == 2
+
+    def test_clear_empties_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(result_key("t", 7), 1)
+        assert store.entry_count() == 1
+        store.clear()
+        assert store.entry_count() == 0
+
+    def test_resolve_store_contract(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+        set_default_store(None)
+        assert resolve_store(None) is None
+        assert resolve_store(False) is None
+        opened = resolve_store(tmp_path)
+        assert isinstance(opened, ResultStore)
+        assert resolve_store(opened) is opened
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path))
+        ambient = resolve_store(None)
+        assert isinstance(ambient, ResultStore)
+        assert ambient.root == opened.root
+        set_default_store(None)
+
+
+# ----------------------------------------------------------------------
+# Concurrency: single-flight and atomic visibility
+# ----------------------------------------------------------------------
+
+def _racing_get_or_compute(spec):
+    """N processes race on one key; computes append to a marker file."""
+    root, key, marker = spec
+    store = ResultStore(root, lock_timeout_s=30.0)
+
+    def compute():
+        # O_APPEND writes are atomic at this size; every compute that
+        # actually runs leaves exactly one line.
+        fd = os.open(marker, os.O_WRONLY | os.O_CREAT | os.O_APPEND)
+        os.write(fd, b"computed\n")
+        os.close(fd)
+        time.sleep(0.05)  # widen the race window
+        return "value"
+
+    return store.get_or_compute(key, compute)
+
+
+def _record_writer(spec):
+    path, n_writes = spec
+    for i in range(n_writes):
+        write_record(path, list(range(50 + (i % 3))), key="race")
+    return "done"
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+class TestConcurrency:
+    def test_single_flight_computes_once(self, tmp_path):
+        key = result_key("race", 1)
+        marker = str(tmp_path / "computes.log")
+        spec = (str(tmp_path / "store"), key, marker)
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(4) as pool:
+            values = pool.map(_racing_get_or_compute, [spec] * 4)
+        assert values == ["value"] * 4
+        with open(marker) as fh:
+            computes = fh.readlines()
+        assert len(computes) == 1, (
+            f"single-flight failed: {len(computes)} computations ran"
+        )
+        store = ResultStore(str(tmp_path / "store"))
+        assert store.get(key) == "value"
+
+    def test_reader_never_sees_partial_payload(self, tmp_path):
+        """Concurrent rewrites are invisible: every read verifies."""
+        path = str(tmp_path / "entry.rec")
+        write_record(path, list(range(50)), key="race")
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(2) as pool:
+            async_result = pool.map_async(
+                _record_writer, [(path, 150), (path, 150)]
+            )
+            deadline = time.monotonic() + 30.0
+            reads = 0
+            while not async_result.ready():
+                value = read_record(path, expected_key="race")
+                assert len(value) in (50, 51, 52)
+                reads += 1
+                if time.monotonic() > deadline:  # pragma: no cover
+                    pytest.fail("writers did not finish")
+            assert async_result.get() == ["done", "done"]
+        assert reads > 0
+        # The final entry is intact and verified.
+        assert len(read_record(path, expected_key="race")) in (50, 51, 52)

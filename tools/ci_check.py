@@ -33,7 +33,12 @@ Runs, in order:
    partition, beacon-loss burst) — every cell must complete without
    error and keep delivery above zero while the vehicle is reachable
    (the PR 7 graceful-degradation contract),
-4. the perf gate (``python -m repro bench --repeats 3`` via
+4. the result-store smoke (``tools/store_smoke.py``): a pinned sweep
+   run cold, warm, with every stored byte-flipped entry quarantined
+   and recomputed, and against an unusable store root — the PR 8
+   self-healing contract (corruption and dead media cost
+   recomputation, never a crash or a wrong result),
+5. the perf gate (``python -m repro bench --repeats 3`` via
    ``tools/perf_smoke.py``), which rewrites ``BENCH_perf.json`` and
    fails on a >20% tracked-rate regression against the committed
    numbers (best-of-3 so container wall-clock noise does not eat the
@@ -97,6 +102,10 @@ def main(argv=None):
     stages.append((
         "fault-matrix smoke",
         [sys.executable, str(REPO_ROOT / "tools" / "fault_smoke.py")],
+    ))
+    stages.append((
+        "result-store smoke",
+        [sys.executable, str(REPO_ROOT / "tools" / "store_smoke.py")],
     ))
     if not args.skip_bench:
         stages.append((

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Result-store smoke: durability, corruption, and degradation guards.
+
+Usage::
+
+    PYTHONPATH=src python tools/store_smoke.py [--seconds N]
+
+Exercises the content-addressed result store (:mod:`repro.store`)
+end-to-end through a real pinned sweep
+(:func:`repro.experiments.common.run_trips` over short VanLAN CBR
+trips) and fails if any durability property breaks:
+
+1. **cold run** — a short pinned sweep against an empty store must
+   miss for every task and write every entry;
+2. **warm run** — the identical sweep must be served entirely from the
+   store (all hits, zero misses, no pool) with results equal to the
+   cold run;
+3. **corruption injection** — a byte flipped in *every* stored payload
+   must be detected on read (verify failure), quarantined to the
+   sidecar, and transparently recomputed — the rerun must equal the
+   cold results exactly and never raise, and the store must serve
+   warm again afterwards (self-healing);
+4. **degradation** — with the store root unusable (a regular file
+   where the object tree should be), the sweep must still complete
+   with correct results, counting ``degraded`` instead of crashing.
+
+This is the CI guard for the PR 8 self-healing contract: a flipped
+byte, a half-written file, or a dead disk may cost recomputation but
+must never crash a sweep or leak a wrong result.
+
+Intended to run as a stage of ``tools/ci_check.py``.
+"""
+
+import argparse
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.common import run_trips, vanlan_cbr_trip  # noqa: E402
+from repro.store import ResultStore  # noqa: E402
+
+
+def _flip_byte(path):
+    """Flip one payload byte near the end of a stored record."""
+    data = bytearray(path.read_bytes())
+    data[-3] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=8.0,
+                        help="simulated duration per trip")
+    parser.add_argument("--trips", type=int, default=2,
+                        help="number of pinned trips in the sweep")
+    args = parser.parse_args(argv)
+
+    tasks = [
+        {"trip": trip, "seed": trip, "duration_s": float(args.seconds),
+         "testbed_seed": 0}
+        for trip in range(max(int(args.trips), 1))
+    ]
+    n = len(tasks)
+    failures = []
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-store-smoke-") as tmp:
+        store = ResultStore(pathlib.Path(tmp) / "store")
+
+        def sweep(target=store):
+            return run_trips(vanlan_cbr_trip, tasks, workers=1,
+                             store=target)
+
+        # 1. Cold run: all misses, one write per task.
+        cold = sweep()
+        print(f"cold: {cold.store}, entries {store.entry_count()}")
+        if cold.store["hits"] or cold.store["misses"] != n \
+                or cold.store["writes"] != n:
+            failures.append(f"cold-run counters off: {cold.store}")
+
+        # 2. Warm run: all hits, identical results.
+        warm = sweep()
+        print(f"warm: {warm.store}")
+        if warm.store["hits"] != n or warm.store["misses"]:
+            failures.append(f"warm run not fully cached: {warm.store}")
+        if list(warm) != list(cold):
+            failures.append("warm results differ from cold results")
+
+        # 3. Flip a byte in every entry: quarantine + recompute, results
+        #    equal to the cold run, no exception.
+        entries = list(store.iter_entries())
+        if len(entries) != n:
+            failures.append(f"expected {n} entries, found {len(entries)}")
+        for _key, path in entries:
+            _flip_byte(pathlib.Path(path))
+        healed = sweep()
+        print(f"corrupt: {healed.store}, "
+              f"sidecar {store.quarantine_count()}")
+        if healed.store["verify_failures"] != n \
+                or healed.store["quarantined"] != n \
+                or healed.store["writes"] != n:
+            failures.append(f"corruption not fully detected/recomputed: "
+                            f"{healed.store}")
+        if list(healed) != list(cold):
+            failures.append("recomputed results differ from cold run — "
+                            "corruption leaked into results")
+        if store.quarantine_count() != n:
+            failures.append("quarantine sidecar does not hold the "
+                            "corrupt entries")
+
+        # 3b. The healed store must serve warm again.
+        again = sweep()
+        if again.store["hits"] != n or list(again) != list(cold):
+            failures.append(f"store did not heal after quarantine: "
+                            f"{again.store}")
+
+        # 4. Unusable store root (a regular file where the object tree
+        #    should be): the sweep must degrade to computing, not die.
+        blocker = pathlib.Path(tmp) / "blocker"
+        blocker.write_text("not a directory\n")
+        broken = ResultStore(blocker / "store")
+        degraded = sweep(target=broken)
+        print(f"degraded: {degraded.store['degraded']!r}")
+        if list(degraded) != list(cold):
+            failures.append("degraded sweep returned different results")
+        if not degraded.store["degraded"]:
+            failures.append("unusable store root was not flagged degraded")
+        if degraded.store["hits"]:
+            failures.append("degraded store claimed cache hits")
+
+    wall = time.perf_counter() - t0
+    print(f"store smoke ran in {wall:.1f} s")
+    if failures:
+        for failure in failures:
+            print(f"STORE SMOKE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("store smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
