@@ -101,6 +101,15 @@ def test_perf_engine(benchmark, save_results):
         assert record["faults"] == "none"
         assert record["store"] == {"hits": 0, "misses": 0,
                                    "verify_failures": 0}
+        # Pinned workloads run in-process: no gateway, no service
+        # queue (PR 9).  A record that grew wire-transport fields
+        # would mean the bench harness started routing through the
+        # HTTP layer and its numbers measured the network, not the
+        # engine.
+        leaked = [k for k in record
+                  if "gateway" in k.lower() or "service" in k.lower()]
+        assert not leaked, (
+            f"pinned bench record leaked transport fields: {leaked}")
     # The tentpole acceptance bar: the sim-rate speedup targets on
     # both pinned single-process workloads against the seed baseline.
     assert vanlan["speedup_vs_baseline"] >= TARGET_SPEEDUP, (
@@ -125,6 +134,9 @@ def test_perf_engine(benchmark, save_results):
         assert scaling_store[field] == 0, (
             f"scaling sweep touched the result store: {scaling_store}"
         )
+    assert not any("gateway" in k.lower() or "service" in k.lower()
+                   for k in scaling), (
+        "scaling record leaked transport fields")
     if scaling["available_workers"] >= 4 and scaling["workers"] >= 4:
         assert scaling["parallel_speedup"] >= TARGET_PARALLEL_SPEEDUP, (
             f"multi-trip scaling too weak: {scaling['parallel_speedup']}x "

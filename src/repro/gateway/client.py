@@ -1,0 +1,356 @@
+"""A retrying HTTP client for the experiment gateway.
+
+:class:`RetryingClient` is the failure-absorbing half of the wire
+story: the server restarts, saturates, and drains; this client is
+what lets a caller not care.  It is deliberately synchronous (callers
+are scripts and smoke harnesses) and stdlib-only:
+
+* **Exponential backoff with full jitter.**  Retry sleeps draw
+  uniformly from ``[0, min(cap, base * 2**attempt)]`` so a fleet of
+  clients recovering from the same outage does not stampede the
+  server in lockstep.
+* **``Retry-After`` honoured.**  A 429/503 with a server-suggested
+  delay overrides the jittered sleep (capped, so a hostile header
+  cannot park the client).
+* **Idempotent-safe retry policy.**  Connection failures and 5xx/429
+  retry only for requests marked idempotent.  ``POST /jobs`` *is*
+  idempotent — the gateway dedupes on the job's content-addressed key
+  — which is exactly what makes retry-after-lost-response safe.
+* **Per-attempt and overall deadlines.**  Every attempt carries a
+  socket timeout; the whole call gives up once ``overall_timeout_s``
+  is spent, raising the last underlying error.
+* **A small half-open circuit breaker.**  After ``breaker_failures``
+  consecutive transport failures the client stops hammering the dead
+  server and sleeps out a cooldown; the next attempt is the half-open
+  probe — success closes the breaker, failure re-opens it.
+
+A mid-call server ``kill -9`` therefore looks like: ECONNREFUSED →
+breaker opens → jittered sleeps → server restarts → probe succeeds →
+the resubmitted job attaches (or recomputes warm from the store).
+"""
+
+import http.client
+import json
+import logging
+import random
+import time
+
+__all__ = ["RetryingClient", "GatewayError", "GatewayUnavailable"]
+
+log = logging.getLogger("repro.gateway.client")
+
+#: Transport-level failures that are retryable for idempotent calls.
+_TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
+
+#: Upper bound on a server-supplied Retry-After we will actually obey.
+_MAX_RETRY_AFTER_S = 10.0
+
+
+class GatewayError(RuntimeError):
+    """A definitive (non-retryable) HTTP error response."""
+
+    def __init__(self, status, payload):
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class GatewayUnavailable(RuntimeError):
+    """The overall deadline expired without a definitive response."""
+
+
+class RetryingClient:
+    def __init__(self, host, port, attempt_timeout_s=10.0,
+                 overall_timeout_s=60.0, backoff_base_s=0.05,
+                 backoff_cap_s=2.0, breaker_failures=4,
+                 breaker_reset_s=1.0, rng=None):
+        self.host = host
+        self.port = int(port)
+        self.attempt_timeout_s = float(attempt_timeout_s)
+        self.overall_timeout_s = float(overall_timeout_s)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.breaker_failures = int(breaker_failures)
+        self.breaker_reset_s = float(breaker_reset_s)
+        self._rng = rng or random.Random()
+        self._consecutive_failures = 0
+        self._breaker_opened_at = None
+        self.stats = {"attempts": 0, "retries": 0, "breaker_trips": 0,
+                      "breaker_probes": 0}
+
+    # -- circuit breaker ----------------------------------------------
+
+    @property
+    def breaker_state(self):
+        if self._breaker_opened_at is None:
+            return "closed"
+        waited = time.monotonic() - self._breaker_opened_at
+        return "half-open" if waited >= self.breaker_reset_s else "open"
+
+    def _breaker_gate(self, deadline):
+        """Sleep out an open breaker (bounded by the call deadline)."""
+        if self._breaker_opened_at is None:
+            return
+        reopen_at = self._breaker_opened_at + self.breaker_reset_s
+        delay = reopen_at - time.monotonic()
+        if delay > 0:
+            if time.monotonic() + delay > deadline:
+                raise GatewayUnavailable(
+                    "circuit breaker open past the overall deadline")
+            time.sleep(delay)
+        self.stats["breaker_probes"] += 1  # half-open: one probe through
+
+    def _record_failure(self):
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.breaker_failures and \
+                self._breaker_opened_at is None:
+            self.stats["breaker_trips"] += 1
+            log.info("circuit breaker open after %d consecutive failures",
+                     self._consecutive_failures)
+        if self._consecutive_failures >= self.breaker_failures:
+            self._breaker_opened_at = time.monotonic()
+
+    def _record_success(self):
+        self._consecutive_failures = 0
+        self._breaker_opened_at = None
+
+    # -- core request loop --------------------------------------------
+
+    def _one_attempt(self, method, path, body, timeout):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            headers = {"Connection": "close"}
+            raw = None
+            if body is not None:
+                raw = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=raw, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            try:
+                decoded = json.loads(payload) if payload else None
+            except ValueError:
+                decoded = {"raw": payload.decode("utf-8", "replace")}
+            return response.status, dict(response.getheaders()), decoded
+        finally:
+            conn.close()
+
+    def request(self, method, path, body=None, idempotent=True,
+                overall_timeout_s=None, retry_busy=True):
+        """Issue a request, retrying through transient failure.
+
+        Returns ``(status, headers, payload)`` for any definitive
+        response (including 4xx — the caller decides what a 404
+        means).  Raises :class:`GatewayUnavailable` when the overall
+        deadline is spent without one, with the last failure chained.
+        With ``retry_busy=False`` a 429/503 is returned as-is instead
+        of being waited out — for probes whose *point* is observing
+        overload or drain.
+        """
+        overall = (self.overall_timeout_s if overall_timeout_s is None
+                   else float(overall_timeout_s))
+        deadline = time.monotonic() + overall
+        attempt = 0
+        last_error = None
+        while True:
+            self._breaker_gate(deadline)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise GatewayUnavailable(
+                    f"{method} {path} exhausted {overall:.1f}s"
+                ) from last_error
+            attempt += 1
+            self.stats["attempts"] += 1
+            try:
+                status, headers, payload = self._one_attempt(
+                    method, path, body,
+                    timeout=max(0.05, min(self.attempt_timeout_s,
+                                          remaining)))
+            except _TRANSPORT_ERRORS as exc:
+                self._record_failure()
+                last_error = exc
+                if not idempotent:
+                    raise
+                self._backoff(attempt, deadline)
+                continue
+            if status in (429, 503):
+                # Structured overload/drain push-back.  The server is
+                # alive and talking, so the breaker stays closed; we
+                # honour its Retry-After and fall back to jitter.
+                self._record_success()
+                if not retry_busy:
+                    return status, headers, payload
+                last_error = GatewayError(status, payload)
+                self._backoff(attempt, deadline,
+                              retry_after=_parse_retry_after(headers))
+                continue
+            if status >= 500 and idempotent:
+                self._record_failure()
+                last_error = GatewayError(status, payload)
+                self._backoff(attempt, deadline)
+                continue
+            self._record_success()
+            return status, headers, payload
+
+    def _backoff(self, attempt, deadline, retry_after=None):
+        self.stats["retries"] += 1
+        delay = self._rng.uniform(
+            0.0, min(self.backoff_cap_s,
+                     self.backoff_base_s * (2.0 ** min(attempt, 16))))
+        if retry_after is not None:
+            delay = max(delay, min(retry_after, _MAX_RETRY_AFTER_S))
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return  # let the loop head raise GatewayUnavailable
+        time.sleep(min(delay, remaining))
+
+    # -- gateway API convenience --------------------------------------
+
+    def _expect(self, expected, status, payload):
+        if status not in expected:
+            raise GatewayError(status, payload)
+        return payload
+
+    def submit(self, runner, params=None, deadline_s=None,
+               overall_timeout_s=None):
+        """Submit a job; safe to call again after a lost response.
+
+        Returns the job snapshot (``attached`` True when the gateway
+        deduped onto an existing job).
+        """
+        body = {"runner": runner, "params": params or {}}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        status, _, payload = self.request(
+            "POST", "/jobs", body=body,
+            overall_timeout_s=overall_timeout_s)
+        return self._expect((200, 201), status, payload)
+
+    def job(self, job_id):
+        status, _, payload = self.request("GET", f"/jobs/{job_id}")
+        return self._expect((200,), status, payload)
+
+    def cancel(self, job_id):
+        status, _, payload = self.request("POST", f"/jobs/{job_id}/cancel")
+        return self._expect((200,), status, payload)
+
+    def health(self):
+        status, _, payload = self.request("GET", "/healthz")
+        return self._expect((200,), status, payload)
+
+    def ready(self):
+        """True when the gateway reports ready (False while draining).
+
+        A 503 here is the answer, not a transient to retry through.
+        """
+        status, _, _ = self.request("GET", "/readyz", retry_busy=False)
+        return status == 200
+
+    def server_stats(self):
+        status, _, payload = self.request("GET", "/stats")
+        return self._expect((200,), status, payload)
+
+    def wait(self, job_id, poll_s=0.2, timeout_s=120.0):
+        """Poll until the job is terminal; returns the final snapshot."""
+        deadline = time.monotonic() + float(timeout_s)
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled",
+                                     "expired"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise GatewayUnavailable(
+                    f"job {job_id} not terminal after {timeout_s:.1f}s "
+                    f"(state {snapshot['state']})")
+            time.sleep(poll_s)
+
+    def submit_and_wait(self, runner, params=None, deadline_s=None,
+                        poll_s=0.2, timeout_s=120.0):
+        """Submit (idempotently re-submitting through outages) + wait.
+
+        The one-call shape a sweep script wants: if the server dies
+        between submit and completion, the poll loop's transport
+        errors retry internally; if the job itself was lost with the
+        server, the next ``submit`` recreates it and the store makes
+        the recompute warm.
+        """
+        deadline = time.monotonic() + float(timeout_s)
+        while True:
+            snapshot = self.submit(runner, params, deadline_s=deadline_s,
+                                   overall_timeout_s=max(
+                                       1.0, deadline - time.monotonic()))
+            job_id = snapshot["id"]
+            try:
+                final = self.wait(job_id, poll_s=poll_s,
+                                  timeout_s=max(0.5,
+                                                deadline - time.monotonic()))
+            except GatewayError as exc:
+                if exc.status == 404 and time.monotonic() < deadline:
+                    # The server restarted and lost the in-memory job
+                    # table; resubmit — idempotent by design.
+                    log.info("job %s vanished (server restart?); "
+                             "resubmitting", job_id)
+                    continue
+                raise
+            if final["state"] in ("done", "failed"):
+                return final
+            if final["state"] in ("cancelled", "expired") and \
+                    time.monotonic() < deadline:
+                return final
+            if time.monotonic() >= deadline:
+                return final
+
+    def stream_events(self, job_id, cancel_on_disconnect=False,
+                      read_timeout_s=30.0):
+        """Yield SSE events for a job: ``(event_name, payload_dict)``.
+
+        No internal retry — a broken stream raises and the caller
+        decides whether to reconnect or fall back to polling.  With
+        ``cancel_on_disconnect`` the server cancels the job if this
+        consumer goes away before the job finishes.
+        """
+        path = f"/jobs/{job_id}/events"
+        if cancel_on_disconnect:
+            path += "?cancel=1"
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=float(read_timeout_s))
+        try:
+            conn.request("GET", path, headers={"Accept":
+                                               "text/event-stream"})
+            response = conn.getresponse()
+            if response.status != 200:
+                raise GatewayError(response.status,
+                                   response.read().decode("utf-8",
+                                                          "replace"))
+            event, data = None, []
+            for raw in response:
+                line = raw.decode("utf-8", "replace").rstrip("\n\r")
+                if line.startswith(":"):
+                    continue  # heartbeat
+                if line.startswith("event:"):
+                    event = line.split(":", 1)[1].strip()
+                elif line.startswith("data:"):
+                    data.append(line.split(":", 1)[1].strip())
+                elif not line and event is not None:
+                    try:
+                        payload = json.loads("\n".join(data)) if data \
+                            else None
+                    except ValueError:
+                        payload = {"raw": "\n".join(data)}
+                    yield event, payload
+                    if event == "done":
+                        return
+                    event, data = None, []
+        finally:
+            conn.close()
+
+
+def _parse_retry_after(headers):
+    for name, value in headers.items():
+        if name.lower() == "retry-after":
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return None
+    return None

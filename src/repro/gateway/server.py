@@ -1,0 +1,621 @@
+"""Hardened asyncio HTTP/1.1 front end for the experiment service.
+
+The gateway accepts experiment specs over the wire, streams progress,
+and serves store-cached sweeps — and it is engineered for the ways
+that goes wrong rather than the happy path:
+
+* **A hardened request parser.**  Bounded start-line/header/body
+  sizes, per-phase read deadlines (a slow-loris client gets a 408 and
+  the socket back, never a parked connection), and structured JSON
+  errors for every malformed shape — a client can never extract a
+  traceback from garbage bytes.
+* **Explicit overload behaviour.**  Connections beyond
+  ``max_connections`` are answered ``503`` immediately;
+  :class:`~repro.service.ServiceSaturated` maps to ``429`` and a
+  closed/draining service to ``503``, both with ``Retry-After`` so a
+  well-behaved client backs off instead of hammering.
+* **Idempotent submission.**  ``POST /jobs`` dedupes through the
+  job's content-addressed :meth:`~repro.service.ExperimentService.job_key`
+  — a retry after a lost response attaches to the live job instead of
+  recomputing.
+* **Cooperative cancellation on disconnect.**  An event-stream
+  watcher that asked for ``?cancel=1`` and then vanishes cancels the
+  underlying job through ``JobContext.should_stop``; sweep runners
+  notice between tasks and stop burning cores for a client that left.
+* **Graceful drain.**  SIGTERM/SIGINT flips ``/readyz`` to 503 and
+  rejects new jobs while in-flight jobs finish (bounded by
+  ``drain_timeout_s``); only then does the listener close and the
+  service shut down.  Jobs that outlive the drain window are
+  finalized ``cancelled`` by ``ExperimentService.close`` — their
+  per-task store entries stay warm for resubmission.
+
+Endpoints::
+
+    POST /jobs                submit {"runner", "params", "deadline_s"}
+    GET  /jobs/<id>           status snapshot (+result when done)
+    GET  /jobs/<id>/events    SSE progress stream (?cancel=1 ties the
+                              job's life to the watcher's connection)
+    POST /jobs/<id>/cancel    cooperative cancellation
+    GET  /healthz             liveness (always 200 while serving)
+    GET  /readyz              readiness (503 once draining)
+    GET  /stats               service + gateway counters
+"""
+
+import asyncio
+import json
+import logging
+import re
+import signal
+import time
+import urllib.parse
+
+from repro import service as repro_service
+
+__all__ = ["Gateway", "GatewayLimits", "serve_http"]
+
+log = logging.getLogger("repro.gateway")
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large", 500: "Internal Server Error",
+    501: "Not Implemented", 503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+_JOB_PATH = re.compile(r"^/jobs/(\d+)$")
+_JOB_EVENTS_PATH = re.compile(r"^/jobs/(\d+)/events$")
+_JOB_CANCEL_PATH = re.compile(r"^/jobs/(\d+)/cancel$")
+
+#: How long one ``Job.progress_since`` wait blocks an executor thread
+#: per round; bounds both SSE event latency and disconnect-detection
+#: latency.
+_SSE_POLL_S = 0.25
+#: Idle rounds between SSE keepalive comments.
+_SSE_HEARTBEAT_ROUNDS = 4
+
+
+class GatewayLimits:
+    """Resource bounds for one gateway instance.
+
+    Every limit exists to convert a hostile or broken client into a
+    bounded, structured failure: oversized payloads into 413, slow
+    trickles into 408, header floods into 431, connection floods into
+    an immediate 503.
+    """
+
+    def __init__(self, max_connections=64, max_start_line_bytes=4096,
+                 max_header_bytes=16384, max_header_count=64,
+                 max_body_bytes=1 << 20, header_timeout_s=5.0,
+                 body_timeout_s=15.0, write_timeout_s=15.0):
+        self.max_connections = int(max_connections)
+        self.max_start_line_bytes = int(max_start_line_bytes)
+        self.max_header_bytes = int(max_header_bytes)
+        self.max_header_count = int(max_header_count)
+        self.max_body_bytes = int(max_body_bytes)
+        self.header_timeout_s = float(header_timeout_s)
+        self.body_timeout_s = float(body_timeout_s)
+        self.write_timeout_s = float(write_timeout_s)
+
+
+class _HttpError(Exception):
+    """A request that must be answered with a structured error."""
+
+    def __init__(self, status, error, detail=None, retry_after=None,
+                 close=True):
+        super().__init__(error)
+        self.status = int(status)
+        self.error = str(error)
+        self.detail = detail
+        self.retry_after = retry_after
+        self.close = close
+
+    def payload(self):
+        out = {"error": self.error, "status": self.status}
+        if self.detail is not None:
+            out["detail"] = str(self.detail)
+        return out
+
+
+class _Request:
+    def __init__(self, method, target, headers, body):
+        self.method = method
+        split = urllib.parse.urlsplit(target)
+        self.path = split.path
+        self.query = dict(urllib.parse.parse_qsl(split.query))
+        self.headers = headers
+        self.body = body
+
+    def wants_close(self):
+        return self.headers.get("connection", "").lower() == "close"
+
+
+class Gateway:
+    """The asyncio HTTP server wrapped around an ExperimentService."""
+
+    def __init__(self, service, host="127.0.0.1", port=0, limits=None,
+                 drain_timeout_s=30.0):
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.limits = limits or GatewayLimits()
+        self.drain_timeout_s = float(drain_timeout_s)
+        self._server = None
+        self._draining = False
+        self._drain_event = asyncio.Event()
+        self._conn_tasks = set()
+        self._active = 0
+        self._streams = 0
+        self.counters = {
+            "connections_total": 0,
+            "connections_rejected": 0,
+            "requests_total": 0,
+            "bad_requests": 0,
+            "disconnect_cancels": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self):
+        """Bind and start accepting; records the bound port."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port,
+            limit=max(self.limits.max_header_bytes,
+                      self.limits.max_start_line_bytes))
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def begin_drain(self):
+        """Flip readiness and start the graceful shutdown sequence."""
+        if not self._draining:
+            log.info("gateway draining (%d active connections)",
+                     self._active)
+        self._draining = True
+        self._drain_event.set()
+
+    def install_signal_handlers(self, loop=None):
+        loop = loop or asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.begin_drain)
+            except (NotImplementedError, RuntimeError):
+                signal.signal(
+                    sig,
+                    lambda *_a: loop.call_soon_threadsafe(self.begin_drain))
+
+    async def run_until_drained(self):
+        """Serve until a drain is requested, then shut down cleanly.
+
+        Drain order: readiness already flipped (``begin_drain``), new
+        jobs already rejected 503; wait — bounded by
+        ``drain_timeout_s`` — for queued/running jobs and live event
+        streams to finish; close the listener; give connection
+        handlers a short grace to flush; cancel stragglers; close the
+        service (which finalizes any job that outlived the window).
+        """
+        await self._drain_event.wait()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout_s
+        while loop.time() < deadline:
+            counts = self.service.stats()
+            busy = counts[repro_service.QUEUED] + counts[repro_service.RUNNING]
+            if busy == 0 and self._streams == 0:
+                break
+            await asyncio.sleep(0.05)
+        self._server.close()
+        await self._server.wait_closed()
+        grace = loop.time() + 2.0
+        while self._active and loop.time() < grace:
+            await asyncio.sleep(0.02)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.service.close(wait=True)
+
+    # -- connection handling -------------------------------------------
+
+    def _on_connection(self, reader, writer):
+        task = asyncio.ensure_future(self._handle_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _handle_connection(self, reader, writer):
+        self.counters["connections_total"] += 1
+        if self._active >= self.limits.max_connections:
+            self.counters["connections_rejected"] += 1
+            await self._send_simple(
+                writer, 503, {"error": "too many connections",
+                              "status": 503}, retry_after=1)
+            await self._close_writer(writer)
+            return
+        self._active += 1
+        try:
+            await self._serve_requests(reader, writer)
+        except (ConnectionError, BrokenPipeError, asyncio.TimeoutError):
+            pass  # client went away mid-write; nothing to answer
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — a handler bug must
+            # not kill the server; answer 500 if the socket still works.
+            log.warning("connection handler error: %r", exc)
+            try:
+                await self._send_simple(
+                    writer, 500, {"error": "internal error", "status": 500})
+            except (ConnectionError, BrokenPipeError, asyncio.TimeoutError,
+                    OSError):
+                pass
+        finally:
+            self._active -= 1
+            await self._close_writer(writer)
+
+    async def _serve_requests(self, reader, writer):
+        """Keep-alive loop: parse, route, answer, repeat."""
+        while True:
+            try:
+                request = await self._read_request(reader)
+            except _HttpError as exc:
+                self.counters["bad_requests"] += 1
+                await self._send_simple(writer, exc.status, exc.payload(),
+                                        retry_after=exc.retry_after)
+                return
+            if request is None:
+                return  # clean EOF / idle close
+            self.counters["requests_total"] += 1
+            try:
+                keep_alive = await self._route(request, reader, writer)
+            except _HttpError as exc:
+                await self._send_simple(writer, exc.status, exc.payload(),
+                                        retry_after=exc.retry_after,
+                                        keep_alive=not exc.close)
+                if exc.close:
+                    return
+                keep_alive = True
+            if not keep_alive or request.wants_close() or self._draining:
+                return
+
+    # -- parsing -------------------------------------------------------
+
+    async def _read_line(self, reader, deadline, limit, what):
+        remaining = deadline - asyncio.get_running_loop().time()
+        if remaining <= 0:
+            raise _HttpError(408, f"timed out reading {what}")
+        try:
+            line = await asyncio.wait_for(reader.readuntil(b"\n"), remaining)
+        except asyncio.TimeoutError:
+            raise _HttpError(408, f"timed out reading {what}") from None
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF between requests
+            raise _HttpError(400, f"connection closed mid-{what}") from None
+        except asyncio.LimitOverrunError:
+            raise _HttpError(431, f"{what} too long") from None
+        if len(line) > limit:
+            raise _HttpError(431, f"{what} too long")
+        return line.rstrip(b"\r\n")
+
+    async def _read_request(self, reader):
+        """Parse one request with deadlines and limits; None on EOF."""
+        limits = self.limits
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + limits.header_timeout_s
+
+        start = await self._read_line(reader, deadline,
+                                      limits.max_start_line_bytes,
+                                      "request line")
+        if start is None:
+            return None
+        if not start:  # tolerate one stray CRLF between requests
+            start = await self._read_line(reader, deadline,
+                                          limits.max_start_line_bytes,
+                                          "request line")
+            if start is None:
+                return None
+        try:
+            text = start.decode("ascii")
+        except UnicodeDecodeError:
+            raise _HttpError(400, "request line is not ASCII") from None
+        parts = text.split(" ")
+        if len(parts) != 3 or not all(parts):
+            raise _HttpError(400, "malformed request line",
+                             detail=text[:120])
+        method, target, version = parts
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise _HttpError(505, f"unsupported version {version[:20]!r}")
+        if method not in ("GET", "POST", "HEAD"):
+            raise _HttpError(405, f"method {method[:20]!r} not allowed")
+
+        headers = {}
+        total = 0
+        while True:
+            line = await self._read_line(reader, deadline,
+                                         limits.max_header_bytes, "header")
+            if line is None:
+                raise _HttpError(400, "connection closed mid-headers")
+            if not line:
+                break
+            total += len(line)
+            if total > limits.max_header_bytes:
+                raise _HttpError(431, "headers too large")
+            if len(headers) >= limits.max_header_count:
+                raise _HttpError(431, "too many headers")
+            name, sep, value = line.partition(b":")
+            if not sep or not name.strip():
+                raise _HttpError(400, "malformed header line")
+            try:
+                headers[name.decode("ascii").strip().lower()] = \
+                    value.decode("latin-1").strip()
+            except UnicodeDecodeError:
+                raise _HttpError(400, "header name is not ASCII") from None
+
+        if "transfer-encoding" in headers:
+            raise _HttpError(501, "chunked request bodies not supported")
+        body = b""
+        raw_length = headers.get("content-length")
+        if raw_length is not None:
+            if not raw_length.isdigit():
+                raise _HttpError(400, "malformed Content-Length",
+                                 detail=raw_length[:40])
+            length = int(raw_length)
+            if length > limits.max_body_bytes:
+                raise _HttpError(
+                    413, "request body too large",
+                    detail=f"{length} > {limits.max_body_bytes} bytes")
+            if length:
+                try:
+                    body = await asyncio.wait_for(
+                        reader.readexactly(length), limits.body_timeout_s)
+                except asyncio.TimeoutError:
+                    raise _HttpError(408, "timed out reading body") \
+                        from None
+                except asyncio.IncompleteReadError:
+                    raise _HttpError(400, "connection closed mid-body") \
+                        from None
+        return _Request(method, target, headers, body)
+
+    # -- responses -----------------------------------------------------
+
+    def _encode(self, status, payload, extra_headers=(), keep_alive=True,
+                retry_after=None):
+        body = json.dumps(payload, default=str).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if retry_after is not None:
+            lines.append(f"Retry-After: {int(retry_after)}")
+        lines.extend(extra_headers)
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+    async def _write(self, writer, raw):
+        writer.write(raw)
+        await asyncio.wait_for(writer.drain(), self.limits.write_timeout_s)
+
+    async def _send_simple(self, writer, status, payload, retry_after=None,
+                           keep_alive=False):
+        try:
+            await self._write(writer, self._encode(
+                status, payload, keep_alive=keep_alive,
+                retry_after=retry_after))
+        except (ConnectionError, BrokenPipeError, asyncio.TimeoutError,
+                OSError):
+            pass  # the client is gone; the error was for them anyway
+
+    @staticmethod
+    async def _close_writer(writer):
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+
+    # -- routing -------------------------------------------------------
+
+    async def _route(self, request, reader, writer):
+        """Dispatch one request; returns keep-alive."""
+        method, path = request.method, request.path
+        if path == "/healthz":
+            self._require(method, "GET")
+            await self._write(writer, self._encode(200, {"ok": True}))
+            return True
+        if path == "/readyz":
+            self._require(method, "GET")
+            if self._draining or self.service.closed:
+                await self._write(writer, self._encode(
+                    503, {"ready": False, "draining": True},
+                    keep_alive=False, retry_after=2))
+                return False
+            await self._write(writer, self._encode(200, {"ready": True}))
+            return True
+        if path == "/stats":
+            self._require(method, "GET")
+            stats = self.service.stats()
+            stats["gateway"] = dict(self.counters,
+                                    active_connections=self._active,
+                                    live_event_streams=self._streams,
+                                    draining=self._draining)
+            await self._write(writer, self._encode(200, stats))
+            return True
+        if path == "/jobs":
+            self._require(method, "POST")
+            await self._submit(request, writer)
+            return True
+        match = _JOB_PATH.match(path)
+        if match:
+            self._require(method, "GET")
+            await self._job_status(int(match.group(1)), writer)
+            return True
+        match = _JOB_CANCEL_PATH.match(path)
+        if match:
+            self._require(method, "POST")
+            await self._job_cancel(int(match.group(1)), writer)
+            return True
+        match = _JOB_EVENTS_PATH.match(path)
+        if match:
+            self._require(method, "GET")
+            await self._job_events(int(match.group(1)), request, reader,
+                                   writer)
+            return False  # streams always close the connection
+        raise _HttpError(404, f"no such endpoint {path[:80]!r}", close=False)
+
+    @staticmethod
+    def _require(method, expected):
+        if method != expected:
+            raise _HttpError(405, f"use {expected} for this endpoint",
+                             close=False)
+
+    def _job_or_404(self, job_id):
+        try:
+            return self.service.job(job_id)
+        except KeyError:
+            raise _HttpError(404, f"no such job {job_id}",
+                             close=False) from None
+
+    async def _submit(self, request, writer):
+        if self._draining or self.service.closed:
+            raise _HttpError(503, "service is draining", retry_after=2,
+                             close=False)
+        try:
+            text = request.body.decode("utf-8")
+        except UnicodeDecodeError:
+            raise _HttpError(400, "body is not UTF-8", close=False) \
+                from None
+        try:
+            name, params, deadline_s = repro_service.parse_job_request(text)
+        except ValueError as exc:
+            raise _HttpError(400, "malformed job request", detail=exc,
+                             close=False) from None
+        try:
+            job_id, attached = await asyncio.to_thread(
+                self.service.submit_idempotent, name, params,
+                deadline_s)
+        except KeyError as exc:
+            raise _HttpError(400, "unknown runner",
+                             detail=str(exc).strip("'\""),
+                             close=False) from None
+        except repro_service.ServiceSaturated as exc:
+            raise _HttpError(429, "service saturated", detail=exc,
+                             retry_after=1, close=False) from None
+        except repro_service.ServiceClosed as exc:
+            raise _HttpError(503, "service closed", detail=exc,
+                             retry_after=2, close=False) from None
+        snapshot = self.service.status(job_id)
+        snapshot["attached"] = attached
+        await self._write(writer, self._encode(
+            200 if attached else 201, snapshot))
+
+    async def _job_status(self, job_id, writer):
+        job = self._job_or_404(job_id)
+        out = job.snapshot()
+        if job.state == repro_service.DONE:
+            out["result"] = job.result
+        await self._write(writer, self._encode(200, out))
+
+    async def _job_cancel(self, job_id, writer):
+        job = self._job_or_404(job_id)
+        cancelled = await asyncio.to_thread(self.service.cancel, job_id)
+        await self._write(writer, self._encode(
+            200, {"id": job_id, "cancelled": bool(cancelled),
+                  "state": job.state}))
+
+    async def _job_events(self, job_id, request, reader, writer):
+        """SSE progress stream; drives disconnect-cancel semantics."""
+        job = self._job_or_404(job_id)
+        cancel_on_disconnect = request.query.get("cancel", "") in (
+            "1", "true", "yes")
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        await self._write(writer, head)
+        watch = asyncio.ensure_future(reader.read(4096))
+        self._streams += 1
+        seq = 0
+        idle_rounds = 0
+        try:
+            await self._write(writer, self._sse("snapshot", job.snapshot()))
+            while True:
+                events, terminal = await asyncio.to_thread(
+                    job.progress_since, seq, _SSE_POLL_S)
+                for event in events:
+                    seq = event["seq"]
+                    await self._write(writer, self._sse("progress", event))
+                if terminal:
+                    final = job.snapshot()
+                    if job.state == repro_service.DONE:
+                        final["result"] = job.result
+                    await self._write(writer, self._sse("done", final))
+                    return
+                if watch.done():
+                    # EOF or stray bytes — either way the watcher is
+                    # not a well-behaved SSE consumer anymore.
+                    if cancel_on_disconnect and \
+                            job.state not in repro_service._TERMINAL:
+                        self.counters["disconnect_cancels"] += 1
+                        log.info("events watcher for job %d vanished; "
+                                 "cancelling", job_id)
+                        await asyncio.to_thread(self.service.cancel, job_id)
+                    return
+                if not events:
+                    idle_rounds += 1
+                    if idle_rounds >= _SSE_HEARTBEAT_ROUNDS:
+                        idle_rounds = 0
+                        # Heartbeats flush through the socket, so a
+                        # silently-dead peer surfaces as a write error
+                        # here instead of parking the stream forever.
+                        await self._write(writer, b": keepalive\n\n")
+                else:
+                    idle_rounds = 0
+        except (ConnectionError, BrokenPipeError, asyncio.TimeoutError,
+                OSError):
+            if cancel_on_disconnect and \
+                    job.state not in repro_service._TERMINAL:
+                self.counters["disconnect_cancels"] += 1
+                log.info("events stream for job %d broke; cancelling",
+                         job_id)
+                await asyncio.to_thread(self.service.cancel, job_id)
+        finally:
+            self._streams -= 1
+            if not watch.done():
+                watch.cancel()
+
+    @staticmethod
+    def _sse(event, payload):
+        data = json.dumps(payload, default=str)
+        return f"event: {event}\ndata: {data}\n\n".encode("utf-8")
+
+
+def serve_http(service, host="127.0.0.1", port=0, limits=None,
+               drain_timeout_s=30.0, announce=print):
+    """Run a gateway over *service* until SIGTERM/SIGINT drains it.
+
+    Announces the bound address as ``gateway listening on HOST:PORT``
+    (ephemeral ``port=0`` resolves here) so supervisors and the chaos
+    smoke can discover the port.  Returns a process exit code.
+    """
+    async def amain():
+        gateway = Gateway(service, host, port, limits=limits,
+                          drain_timeout_s=drain_timeout_s)
+        await gateway.start()
+        gateway.install_signal_handlers()
+        if announce is not None:
+            announce(f"gateway listening on {gateway.host}:{gateway.port}",
+                     flush=True)
+        await gateway.run_until_drained()
+
+    try:
+        asyncio.run(amain())
+    except KeyboardInterrupt:
+        # A second SIGINT during drain: exit now, service threads are
+        # daemons and the store has already checkpointed finished work.
+        log.warning("interrupted during drain; exiting")
+        return 130
+    finally:
+        if not service.closed:
+            service.close(wait=False)
+    return 0

@@ -5,6 +5,7 @@ backpressure, deadline expiry, cancellation, failure capture, store
 memoization — is exercised in well under a second.
 """
 
+import json
 import threading
 import time
 
@@ -221,3 +222,291 @@ class TestStoreIntegration:
                          "fault_matrix_smoke", "tcp_vanlan",
                          "voip_vanlan"):
             assert expected in names
+
+
+class TestCloseCancelRace:
+    """PR 9: a cancel racing the worker must still end terminal."""
+
+    def _register_stubborn(self):
+        """A runner that ignores should_stop entirely."""
+        release = threading.Event()
+
+        def stubborn():
+            release.wait(10.0)
+            return "finished anyway"
+
+        register_runner("_test_stubborn", stubborn)
+        return release
+
+    def test_cancelled_running_job_terminal_after_close(self):
+        release = self._register_stubborn()
+        svc = ExperimentService(store=False, workers=1)
+        try:
+            job_id = svc.submit("_test_stubborn")
+            deadline = time.monotonic() + 5.0
+            while svc.job(job_id).state != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            # The worker is between should_stop checks (it never
+            # checks); cancel lands mid-flight.
+            svc.cancel(job_id)
+            svc.close(wait=True, finalize_timeout_s=0.3)
+            job = svc.job(job_id)
+            assert job.state == "cancelled", (
+                f"job stuck {job.state!r} after close")
+            assert job.done_event.is_set()
+        finally:
+            release.set()
+        # The abandoned worker limping home must not resurrect the
+        # terminal record (first-writer-wins _finish).
+        time.sleep(0.2)
+        job = svc.job(job_id)
+        assert job.state == "cancelled"
+        assert job.result is None
+
+    def test_queued_jobs_terminal_after_close(self):
+        release = self._register_stubborn()
+        svc = ExperimentService(store=False, workers=1, queue_limit=4)
+        try:
+            blocker = svc.submit("_test_stubborn")
+            queued = svc.submit("_test_quick", {"x": 1})
+            svc.cancel(blocker)
+            svc.close(wait=True, finalize_timeout_s=0.3)
+            for job_id in (blocker, queued):
+                state = svc.job(job_id).state
+                assert state in ("cancelled", "done"), (
+                    f"job {job_id} stuck {state!r} after close")
+            assert svc.job(blocker).state == "cancelled"
+        finally:
+            release.set()
+
+    def test_cancel_racing_completion_first_writer_wins(self):
+        _register_toys()
+        with ExperimentService(store=False, workers=1) as svc:
+            job = svc.wait(svc.submit("_test_quick", {"x": 3}),
+                           timeout=10)
+            assert job.state == "done"
+            # The late cancel loses the race and changes nothing.
+            assert svc.cancel(job.id) is False
+            assert job.state == "done"
+            assert job.result == {"doubled": 6}
+
+
+class TestDeadlineEdges:
+    """PR 9: the deadline corners the HTTP path leans on."""
+
+    def test_queued_expiry_reports_the_queued_edge(self):
+        events, gate = _register_toys()
+        svc = ExperimentService(store=False, workers=1)
+        try:
+            blocker = svc.submit("_test_gated")
+            doomed = svc.submit("_test_quick", deadline_s=0.01)
+            time.sleep(0.05)
+            gate.set()
+            job = svc.wait(doomed, timeout=10)
+            assert job.state == "expired"
+            assert job.error == "deadline passed while queued"
+            assert job.started is None  # never ran
+            svc.wait(blocker, timeout=10)
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_running_expiry_reports_the_running_edge(self):
+        _register_toys()
+        with ExperimentService(store=False, workers=1) as svc:
+            job = svc.wait(svc.submit("_test_cooperative",
+                                      deadline_s=0.05), timeout=15)
+            assert job.state == "expired"
+            assert job.error == "deadline exceeded"
+            assert job.started is not None  # it did run
+
+    def test_wait_on_terminal_job_returns_immediately(self):
+        _register_toys()
+        with ExperimentService(store=False, workers=1) as svc:
+            job_id = svc.submit("_test_quick", {"x": 1})
+            svc.wait(job_id, timeout=10)
+            t0 = time.monotonic()
+            job = svc.wait(job_id, timeout=30.0)
+            assert time.monotonic() - t0 < 1.0
+            assert job.state == "done"
+
+    def test_wait_timeout_returns_nonterminal_snapshot(self):
+        _, gate = _register_toys()
+        svc = ExperimentService(store=False, workers=1)
+        try:
+            job_id = svc.submit("_test_gated")
+            job = svc.wait(job_id, timeout=0.05)
+            assert job.state in ("queued", "running")
+            gate.set()
+            assert svc.wait(job_id, timeout=10).state == "done"
+        finally:
+            gate.set()
+            svc.close()
+
+
+class TestIdempotentSubmit:
+    """PR 9: content-addressed dedupe behind the gateway."""
+
+    def test_live_job_absorbs_retry(self):
+        _, gate = _register_toys()
+        svc = ExperimentService(store=False, workers=1)
+        try:
+            first, attached_a = svc.submit_idempotent("_test_gated")
+            second, attached_b = svc.submit_idempotent("_test_gated")
+            assert not attached_a and attached_b
+            assert first == second
+            assert svc.stats()["queued"] + svc.stats()["running"] == 1
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_failed_job_never_absorbs_retry(self):
+        _register_toys()
+        with ExperimentService(store=False, workers=1) as svc:
+            failed_id, _ = svc.submit_idempotent("_test_failing")
+            svc.wait(failed_id, timeout=10)
+            retry_id, attached = svc.submit_idempotent("_test_failing")
+            assert retry_id != failed_id and not attached
+            svc.wait(retry_id, timeout=10)
+
+    def test_submit_never_dedupes(self):
+        _, gate = _register_toys()
+        svc = ExperimentService(store=False, workers=1)
+        try:
+            a = svc.submit("_test_gated")
+            b = svc.submit("_test_gated")
+            assert a != b
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_uncacheable_params_fork_jobs(self):
+        class Opaque:
+            pass
+
+        def opaque_runner(blob=None):
+            return "ran"
+
+        register_runner("_test_opaque_fork", opaque_runner)
+        with ExperimentService(store=False, workers=2) as svc:
+            a, att_a = svc.submit_idempotent("_test_opaque_fork",
+                                             {"blob": Opaque()})
+            b, att_b = svc.submit_idempotent("_test_opaque_fork",
+                                             {"blob": Opaque()})
+            assert a != b and not att_a and not att_b
+            svc.wait(a, timeout=10)
+            svc.wait(b, timeout=10)
+
+    def test_job_key_is_param_order_invariant(self):
+        key_a = ExperimentService.job_key("r", {"a": 1, "b": 2})
+        key_b = ExperimentService.job_key("r", {"b": 2, "a": 1})
+        assert key_a == key_b is not None
+        assert ExperimentService.job_key("r", {"a": 2}) != key_a
+        assert ExperimentService.job_key("other", {"a": 1}) != key_a
+
+        class Opaque:
+            pass
+
+        assert ExperimentService.job_key("r", {"x": Opaque()}) is None
+
+
+class TestProgress:
+    """PR 9: the JobContext.progress hook behind the event stream."""
+
+    def test_progress_events_are_sequenced(self):
+        def reporter(context=None, steps=3):
+            for i in range(steps):
+                context.progress(step=i + 1)
+            return "done"
+
+        reporter.accepts_context = True
+        register_runner("_test_reporter", reporter)
+        with ExperimentService(store=False, workers=1) as svc:
+            job = svc.wait(svc.submit("_test_reporter", {"steps": 3}),
+                           timeout=10)
+            events, terminal = job.progress_since(0, timeout=0)
+            assert [e["seq"] for e in events] == [1, 2, 3]
+            assert [e["step"] for e in events] == [1, 2, 3]
+            assert terminal
+            # Tail reads see only the new events.
+            tail, _ = job.progress_since(2, timeout=0)
+            assert [e["seq"] for e in tail] == [3]
+            assert job.snapshot()["progress"]["step"] == 3
+
+    def test_progress_since_wakes_on_terminal(self):
+        _, gate = _register_toys()
+        svc = ExperimentService(store=False, workers=1)
+        try:
+            job = svc.job(svc.submit("_test_gated"))
+            results = {}
+
+            def waiter():
+                results["out"] = job.progress_since(0, timeout=10.0)
+
+            t = threading.Thread(target=waiter)
+            t.start()
+            time.sleep(0.05)
+            gate.set()
+            t.join(timeout=10.0)
+            assert not t.is_alive(), "watcher never woke on completion"
+            events, terminal = results["out"]
+            assert terminal and events == []
+        finally:
+            gate.set()
+            svc.close()
+
+    def test_builtin_runners_accept_context(self):
+        from repro import service as service_mod
+
+        for name in ("density_sweep", "speed_sweep", "tcp_vanlan",
+                     "voip_vanlan", "fault_matrix_smoke",
+                     "vanlan_cbr_sweep"):
+            runner = service_mod._RUNNERS[name]
+            assert getattr(runner, "accepts_context", False), name
+
+
+class TestServeStdinResilience:
+    """PR 9: nothing on stdin may kill the serving loop."""
+
+    def _run_serve(self, monkeypatch, capsys, lines):
+        import io
+
+        from repro.service import main_serve
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines)
+                                                     + "\n"))
+        code = main_serve([])
+        out = capsys.readouterr().out.strip().splitlines()
+        return code, [json.loads(line) for line in out if line]
+
+    def test_malformed_lines_reject_and_loop_survives(self, monkeypatch,
+                                                      capsys):
+        _register_toys()
+        code, out = self._run_serve(monkeypatch, capsys, [
+            "this is not json",
+            "[1, 2, 3]",
+            '{"runner": 42}',
+            '{"runner": "no-such-runner"}',
+            '{"runner": "_test_quick", "params": [1]}',
+            '{"runner": "_test_quick", "deadline_s": "soon"}',
+            '{"runner": "_test_quick", "params": {"x": 4}}',
+        ])
+        assert code == 1  # rejects happened and are reported
+        rejected = [o for o in out if o.get("state") == "rejected"]
+        done = [o for o in out if o.get("state") == "done"]
+        assert len(rejected) == 6
+        assert all("error" in r and "error_type" in r for r in rejected)
+        # The good line after all the garbage still ran to completion.
+        assert len(done) == 1
+        assert done[0]["result"] == {"doubled": 8}
+
+    def test_clean_batch_exits_zero(self, monkeypatch, capsys):
+        _register_toys()
+        code, out = self._run_serve(monkeypatch, capsys, [
+            "# a comment line",
+            "",
+            '{"runner": "_test_quick", "params": {"x": 1}}',
+        ])
+        assert code == 0
+        assert [o["state"] for o in out] == ["done"]

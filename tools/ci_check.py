@@ -38,7 +38,15 @@ Runs, in order:
    and recomputed, and against an unusable store root — the PR 8
    self-healing contract (corruption and dead media cost
    recomputation, never a crash or a wrong result),
-5. the perf gate (``python -m repro bench --repeats 3`` via
+5. the gateway chaos smoke (``tools/gateway_smoke.py``): the PR 9
+   wire-transport contract — a ``kill -9`` mid-sweep, restart, and
+   idempotent resubmission must end bit-identical with warm store
+   hits; malformed/slow/oversized requests must map to structured
+   4xx/5xx; an overload burst must surface 429/503 and still
+   complete; SIGTERM must drain gracefully.  Zero server tracebacks
+   throughout.  Skips itself (exit 0, with the reason) when loopback
+   sockets are unavailable,
+6. the perf gate (``python -m repro bench --repeats 3`` via
    ``tools/perf_smoke.py``), which rewrites ``BENCH_perf.json`` and
    fails on a >20% tracked-rate regression against the committed
    numbers (best-of-3 so container wall-clock noise does not eat the
@@ -106,6 +114,10 @@ def main(argv=None):
     stages.append((
         "result-store smoke",
         [sys.executable, str(REPO_ROOT / "tools" / "store_smoke.py")],
+    ))
+    stages.append((
+        "gateway chaos smoke",
+        [sys.executable, str(REPO_ROOT / "tools" / "gateway_smoke.py")],
     ))
     if not args.skip_bench:
         stages.append((
