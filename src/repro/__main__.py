@@ -6,6 +6,7 @@ Usage::
     python -m repro fig07 [--seed N]
     python -m repro table1
     python -m repro bench
+    python -m repro lint [--json]
     python -m repro store stats
     python -m repro serve --list
 
@@ -124,16 +125,22 @@ def main(argv=None):
     )
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS)
-                        + ["bench", "list", "store", "serve"],
+                        + ["bench", "lint", "list", "store", "serve"],
                         help="experiment id, 'bench' for the perf "
-                             "smoke, 'store'/'serve' for the result "
+                             "smoke, 'lint' for the invariant lint, "
+                             "'store'/'serve' for the result "
                              "store and service, or 'list' to "
                              "enumerate")
     parser.add_argument("--seed", type=int, default=7,
                         help="root seed (default 7)")
     args, extra = parser.parse_known_args(argv)
-    if extra and args.experiment not in ("bench", "store", "serve"):
+    if extra and args.experiment not in ("bench", "lint", "store",
+                                         "serve"):
         parser.error(f"unrecognized arguments: {' '.join(extra)}")
+
+    if args.experiment == "lint":
+        from repro.lint.cli import main_lint
+        return main_lint(extra)
 
     if args.experiment == "store":
         from repro.store import main_store
@@ -158,6 +165,7 @@ def main(argv=None):
             print(f"{name:<10s} {description}")
         for name, description in (
             ("bench", "pinned perf workloads -> BENCH_perf.json"),
+            ("lint", "AST invariant lint (see INVARIANTS.md)"),
             ("store", "inspect/verify/clear the result store"),
             ("serve", "run experiment jobs from stdin JSON lines"),
         ):

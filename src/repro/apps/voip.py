@@ -24,6 +24,16 @@ class VoipConfig:
         self.packet_size_bytes = int(packet_size_bytes)
         self.mos = mos or MosConfig()
 
+    def cache_token(self):
+        """Store-key identity: every parameter that shapes a result.
+
+        A plain class tokenizes by this hook (not per-field like a
+        dataclass), so any new ``__init__`` parameter must be added
+        here or the STORE-TOKEN contract is violated silently.
+        """
+        return ("voip-config", self.packet_interval_s,
+                self.packet_size_bytes, self.mos)
+
 
 class VoipStream:
     """Bidirectional voice stream with per-window MoS accounting.

@@ -192,7 +192,11 @@ def _checkpoint_fingerprint(worker, tasks):
              getattr(worker, "__qualname__", repr(worker)), tasks),
             protocol=4,
         )
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError,
+            RecursionError) as exc:
+        log.warning("sweep tasks are unpicklable (%s); checkpoint "
+                    "fingerprint matching is disabled for this run",
+                    exc)
         return None
     return hashlib.sha256(blob).hexdigest()
 
@@ -260,7 +264,7 @@ def _spawn_safe_initializer(initializer, initargs):
     try:
         pickle.dumps((initializer, tuple(initargs)), protocol=4)
         return initializer, tuple(initargs)
-    except Exception as exc:
+    except Exception as exc:  # repro-lint: allow[SILENT-EXCEPT] pickling arbitrary initargs can raise anything (user __reduce__); the failure routes to spawn_fallback or a chained TypeError, never vanishes
         fallback = getattr(initializer, "spawn_fallback", None)
         if fallback is not None:
             return fallback, ()
@@ -522,7 +526,7 @@ def _run_serial(worker, tasks, pending, results, initializer, initargs,
                     results[i] = _call(i)
                 except KeyboardInterrupt:
                     raise
-                except Exception as exc:
+                except Exception as exc:  # repro-lint: allow[SILENT-EXCEPT] task isolation: one bad task becomes a recorded failure/retry, not a dead sweep
                     attempt += 1
                     if attempt > retries:
                         failures.append((i, f"raised {exc!r}"))
@@ -619,7 +623,7 @@ def _run_pooled(worker, tasks, pending, results, workers, initializer,
                     progressed = True
                     try:
                         value = handle.get()
-                    except Exception as exc:
+                    except Exception as exc:  # repro-lint: allow[SILENT-EXCEPT] task isolation: a worker exception becomes a recorded failure/retry, not a dead sweep
                         fail_or_retry(i, f"raised {exc!r}")
                     else:
                         if store_call is not None:

@@ -178,7 +178,7 @@ def relay_count_spread(n_aux, p_hear_src, p_to_dst, p_src_dst=0.5,
         ``(mean, variance, histogram)`` of the number of relays per
         packet.
     """
-    rng = np.random.default_rng(seed)
+    rng = RngRegistry(seed).stream("relay-count-spread")
     hear = np.broadcast_to(np.asarray(p_hear_src, dtype=float),
                            (n_aux,)).copy()
     to_dst = np.broadcast_to(np.asarray(p_to_dst, dtype=float),

@@ -27,6 +27,7 @@ from repro.handoff.sessions import (
     time_weighted_median_session,
 )
 from repro.net.channel import SteeredGilbertElliott
+from repro.sim.rng import RngRegistry
 
 __all__ = [
     "aggregate_by_density",
@@ -65,12 +66,12 @@ def aggregate_by_density(testbed, day=0, n_trips=4, subset_sizes=(2, 5, 8, 11),
     """
     day_traces = testbed.generate_day(day, n_trips=n_trips)
     training = testbed.generate_day(day + 1, n_trips=n_trips)
-    rng = np.random.default_rng(seed)
+    rngs = RngRegistry(seed).spawn("fig2-density")
     results = {}
     for name, factory in policy_factories().items():
         results[name] = packets_per_day_by_density(
             day_traces, factory, subset_sizes, trials_per_size,
-            rng=np.random.default_rng(rng.integers(2**32)),
+            rng=rngs.stream(name),
             training_traces=training if name == "History" else None,
         )
     return results

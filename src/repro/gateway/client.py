@@ -72,6 +72,9 @@ class RetryingClient:
         self.backoff_cap_s = float(backoff_cap_s)
         self.breaker_failures = int(breaker_failures)
         self.breaker_reset_s = float(breaker_reset_s)
+        # Transport retry jitter, never simulation randomness — this
+        # module is on the RNG-DISCIPLINE allowlist (see
+        # repro.lint.rules.RngDisciplineRule.ALLOWLIST).
         self._rng = rng or random.Random()
         self._consecutive_failures = 0
         self._breaker_opened_at = None

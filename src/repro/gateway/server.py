@@ -237,8 +237,7 @@ class Gateway:
             pass  # client went away mid-write; nothing to answer
         except asyncio.CancelledError:
             raise
-        except Exception as exc:  # noqa: BLE001 — a handler bug must
-            # not kill the server; answer 500 if the socket still works.
+        except Exception as exc:  # repro-lint: allow[SILENT-EXCEPT] a handler bug is logged and answered with a 500; it must not kill the server loop
             log.warning("connection handler error: %r", exc)
             try:
                 await self._send_simple(

@@ -1,0 +1,120 @@
+"""Command-line front end for the invariant lint plane.
+
+``python -m repro lint`` scans ``src/repro`` with every registered
+rule, subtracts pragma suppressions and the committed baseline, and
+prints the remaining findings as ``path:line: RULE-ID message`` plus a
+per-rule count summary (active / baselined / pragma-suppressed), so
+ci_check output shows drift even when the gate passes.
+
+Exit codes are stable for tooling: ``0`` clean, ``1`` unbaselined
+findings, ``2`` usage error (unknown rule id, unreadable baseline).
+"""
+
+import argparse
+import json
+import sys
+
+from repro.lint import engine
+from repro.lint.rules import ALL_RULES
+
+__all__ = ["main_lint"]
+
+DEFAULT_BASELINE = "LINT_BASELINE.json"
+
+
+def _select_rules(select):
+    by_id = {cls.rule_id: cls for cls in ALL_RULES}
+    if not select:
+        return [cls() for cls in ALL_RULES], None
+    chosen = []
+    for rule_id in select:
+        cls = by_id.get(rule_id.upper())
+        if cls is None:
+            return None, rule_id
+        chosen.append(cls())
+    return chosen, None
+
+
+def _summary_lines(report):
+    lines = []
+    counts = report.counts_by_rule()
+    for rule_id in sorted(counts):
+        lines.append(f"  {rule_id}: {counts[rule_id]} finding(s)")
+    lines.append(
+        f"[lint] {report.files} file(s), "
+        f"{len(report.findings)} active finding(s), "
+        f"{report.baselined} baselined, "
+        f"{report.suppressed} pragma-suppressed")
+    return lines
+
+
+def main_lint(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="AST lint of the repo's determinism, store-key, "
+                    "and concurrency contracts (see INVARIANTS.md)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the src/repro tree)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON for tooling")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file of grandfathered findings "
+                             f"(default: <repo>/{DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline (show every finding)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline to grandfather all "
+                             "current findings, then exit 0")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="RULE-ID",
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule ids and descriptions, then exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.rule_id}: {cls.description}")
+        return 0
+
+    rules, unknown = _select_rules(args.select)
+    if rules is None:
+        print(f"[lint] unknown rule id: {unknown}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or \
+        str(engine.repo_root() / DEFAULT_BASELINE)
+    baseline = {}
+    if not (args.no_baseline or args.write_baseline):
+        try:
+            baseline = engine.load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"[lint] {exc}", file=sys.stderr)
+            return 2
+
+    report = engine.lint_paths(args.paths or None, rules=rules,
+                               baseline=baseline)
+
+    if args.write_baseline:
+        files_by_display = getattr(report, "_files_by_display", {})
+        engine.write_baseline(baseline_path, report.findings,
+                              files_by_display)
+        print(f"[lint] wrote {len(report.findings)} grandfathered "
+              f"finding(s) to {baseline_path}")
+        return 0
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.clean else 1
+
+    for finding in report.findings:
+        print(f"{finding.path}:{finding.line}: {finding.rule} "
+              f"{finding.message}")
+    for line in _summary_lines(report):
+        print(line)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main_lint())

@@ -1,0 +1,452 @@
+"""The repo-specific rules enforced by ``python -m repro lint``.
+
+Each rule encodes one contract the runtime guards (digest anchors,
+store smoke, gateway chaos smoke) can only check after the fact; see
+``INVARIANTS.md`` for the rule ↔ runtime-guard map.  Rules match
+scopes against package-relative posix paths (``repro/net/medium.py``),
+so fixture tests exercise exactly the production scoping.
+"""
+
+import ast
+
+from repro.lint.engine import Finding, Rule, dotted_name
+
+__all__ = [
+    "ALL_RULES",
+    "BlockingInAsyncRule",
+    "LockGuardedRule",
+    "RngDisciplineRule",
+    "SilentExceptRule",
+    "StoreTokenRule",
+    "WallClockRule",
+]
+
+
+def _in_repro(lint_file):
+    return lint_file.relpath.startswith("repro/")
+
+
+class RngDisciplineRule(Rule):
+    """All randomness flows through :mod:`repro.sim.rng` named streams.
+
+    Ad-hoc generators (``np.random.default_rng``, ``random.Random()``,
+    module-level ``np.random.*`` / ``random.*`` draws) bypass the
+    SHA-256 seed derivation that keeps streams disjoint and
+    ``faults=None`` bitwise-identical to the committed digest anchors.
+    """
+
+    rule_id = "RNG-DISCIPLINE"
+    description = ("ad-hoc RNG construction outside repro.sim.rng "
+                   "named streams")
+
+    #: Modules allowed to construct RNGs directly, with why.
+    ALLOWLIST = {
+        "repro/sim/rng.py":
+            "the named-stream provider itself",
+        "repro/gateway/client.py":
+            "non-sim transport retry jitter; never feeds a simulation",
+    }
+
+    def check_file(self, lf):
+        if not _in_repro(lf) or lf.relpath in self.ALLOWLIST:
+            return
+        for node in ast.walk(lf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = lf.resolve(node.func)
+            if name is None:
+                continue
+            bad = (
+                name.startswith("numpy.random.")
+                or name in ("random.Random", "random.SystemRandom")
+                or (name.startswith("random.") and name.count(".") == 1)
+            )
+            if bad:
+                yield Finding(
+                    self.rule_id, lf.display, node.lineno,
+                    f"ad-hoc RNG call {name}(); derive a named stream "
+                    "via repro.sim.rng (RngRegistry.stream/spawn) so "
+                    "seeds stay disjoint and reproducible",
+                )
+
+
+class WallClockRule(Rule):
+    """Sim-core modules must not read wall-clock time or OS entropy.
+
+    Simulated time is the only time: a ``time.time()`` in the sim core
+    makes runs unreproducible.  Only ``repro/service.py`` and
+    ``repro/gateway/**`` (and ``tools/``, outside the package) face
+    real time.  ``time.monotonic`` / ``time.perf_counter`` stay legal —
+    measuring wall duration is not reading wall-clock identity.
+    """
+
+    rule_id = "WALL-CLOCK"
+    description = "wall-clock or entropy read in sim-core modules"
+
+    BANNED = {
+        "time.time", "time.time_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+        "uuid.uuid1", "uuid.uuid4",
+        "os.urandom", "os.getrandom",
+    }
+    BANNED_PREFIXES = ("secrets.",)
+
+    def _exempt(self, lf):
+        return (lf.relpath == "repro/service.py"
+                or lf.relpath.startswith("repro/gateway/"))
+
+    def check_file(self, lf):
+        if not _in_repro(lf) or self._exempt(lf):
+            return
+        for node in ast.walk(lf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = lf.resolve(node.func)
+            if name is None:
+                continue
+            if name in self.BANNED or \
+                    name.startswith(self.BANNED_PREFIXES):
+                yield Finding(
+                    self.rule_id, lf.display, node.lineno,
+                    f"{name}() reads wall-clock/entropy in a sim-core "
+                    "module; simulated time and named RNG streams are "
+                    "the only nondeterminism sources allowed here",
+                )
+
+
+class LockGuardedRule(Rule):
+    """``# guarded-by: <lock>`` attributes only under ``with self.<lock>``.
+
+    Annotation-driven: declare the invariant once, at the attribute's
+    initialising assignment::
+
+        self._jobs = {}  # guarded-by: _lock
+
+    and every other ``self._jobs`` access in the class must sit
+    lexically inside a ``with self._lock:`` block.  ``__init__`` is
+    exempt (no concurrent access before construction completes).
+    """
+
+    rule_id = "LOCK-GUARDED"
+    description = "guarded-by attribute accessed outside its lock"
+
+    def check_file(self, lf):
+        import re
+        guard_lines = {}
+        pattern = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+        for lineno, line in enumerate(lf.lines, start=1):
+            match = pattern.search(line)
+            if match:
+                guard_lines[lineno] = match.group(1)
+        if not guard_lines:
+            return
+        for cls in ast.walk(lf.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(lf, cls, guard_lines)
+
+    @staticmethod
+    def _self_attr(node):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == "self":
+            return node.attr
+        return None
+
+    def _check_class(self, lf, cls, guard_lines):
+        guarded = {}
+        for node in ast.walk(cls):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    attr = self._self_attr(target)
+                    lock = guard_lines.get(node.lineno)
+                    if attr and lock:
+                        guarded[attr] = lock
+        if not guarded:
+            return
+        for method in cls.body:
+            if not isinstance(method,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue
+            regions = {}
+            for node in ast.walk(method):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        ctx = dotted_name(item.context_expr)
+                        if ctx and ctx.startswith("self."):
+                            lock = ctx[len("self."):]
+                            regions.setdefault(lock, []).append(
+                                (node.lineno, node.end_lineno))
+            for node in ast.walk(method):
+                attr = self._self_attr(node)
+                if attr is None or attr not in guarded:
+                    continue
+                lock = guarded[attr]
+                held = any(start <= node.lineno <= end
+                           for start, end in regions.get(lock, ()))
+                if not held:
+                    yield Finding(
+                        self.rule_id, lf.display, node.lineno,
+                        f"self.{attr} is '# guarded-by: {lock}' but "
+                        f"accessed in {cls.name}.{method.name} outside "
+                        f"'with self.{lock}:'",
+                    )
+
+
+class StoreTokenRule(Rule):
+    """Config classes on the store-key surface stay tokenizable.
+
+    :func:`repro.store.canonical_token` tokenizes dataclasses
+    per-field so any config change flips the cache key; a field whose
+    type it cannot tokenize degrades the whole key to
+    ``Uncacheable`` — silently, at runtime.  This rule checks the key
+    surface statically: every ``*Config`` dataclass (and everything
+    reachable through its field annotations, or referenced at a
+    ``result_key``/``canonical_token`` call site) must have all fields
+    statically tokenizable or define ``cache_token()``; a plain
+    (non-dataclass) ``*Config`` class must define ``cache_token()``.
+    """
+
+    rule_id = "STORE-TOKEN"
+    description = "store-key config class not statically tokenizable"
+
+    PRIMITIVES = {"bool", "int", "float", "str", "bytes", "bytearray",
+                  "complex", "None"}
+    CONTAINERS = {
+        "tuple", "list", "dict", "set", "frozenset",
+        "typing.Tuple", "typing.List", "typing.Dict", "typing.Set",
+        "typing.FrozenSet", "typing.Optional", "typing.Union",
+        "typing.Sequence", "typing.Mapping",
+    }
+    OK_TYPES = {"numpy.ndarray"}
+
+    def check(self, files):
+        registry = {}
+        for lf in files:
+            if not _in_repro(lf):
+                continue
+            for node in ast.walk(lf.tree):
+                if isinstance(node, ast.ClassDef):
+                    registry[node.name] = (lf, node)
+        if not registry:
+            return
+
+        roots = {name for name in registry if name.endswith("Config")}
+        for lf in files:
+            for node in ast.walk(lf.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = lf.resolve(node.func) or ""
+                if not name.endswith(("result_key", "canonical_token")):
+                    continue
+                for arg in ast.walk(node):
+                    if isinstance(arg, ast.Name) and arg.id in registry:
+                        roots.add(arg.id)
+
+        seen = set()
+        queue = sorted(roots)
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            lf, cls = registry[name]
+            if self._has_cache_token(cls):
+                continue
+            if not self._is_dataclass(lf, cls):
+                yield Finding(
+                    self.rule_id, lf.display, cls.lineno,
+                    f"{name} is on the store-key surface but is not a "
+                    "dataclass; define cache_token() so config changes "
+                    "flip the cache key",
+                )
+                continue
+            for stmt in cls.body:
+                if not isinstance(stmt, ast.AnnAssign) or \
+                        not isinstance(stmt.target, ast.Name):
+                    continue
+                if self._is_classvar(lf, stmt.annotation):
+                    continue
+                ok, referenced = self._tokenizable(
+                    lf, stmt.annotation, registry)
+                queue.extend(referenced)
+                if not ok:
+                    field = stmt.target.id
+                    ann = ast.unparse(stmt.annotation)
+                    yield Finding(
+                        self.rule_id, lf.display, stmt.lineno,
+                        f"{name}.{field}: annotation '{ann}' is not "
+                        "statically tokenizable; canonical_token would "
+                        "degrade the store key to Uncacheable — use a "
+                        "tokenizable type or define cache_token()",
+                    )
+
+    @staticmethod
+    def _has_cache_token(cls):
+        return any(isinstance(stmt,
+                              (ast.FunctionDef, ast.AsyncFunctionDef))
+                   and stmt.name == "cache_token" for stmt in cls.body)
+
+    @staticmethod
+    def _is_dataclass(lf, cls):
+        for deco in cls.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = lf.resolve(target)
+            if name in ("dataclass", "dataclasses.dataclass"):
+                return True
+        return False
+
+    @staticmethod
+    def _is_classvar(lf, annotation):
+        node = annotation
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        return lf.resolve(node) in ("typing.ClassVar", "ClassVar")
+
+    def _tokenizable(self, lf, node, registry):
+        """(is_ok, referenced_class_names) for one annotation node."""
+        if isinstance(node, ast.Constant):
+            if node.value is None or node.value is Ellipsis:
+                return True, []
+            if isinstance(node.value, str):  # forward reference
+                name = node.value
+                return (name in registry, [name] if name in registry
+                        else [])
+            return False, []
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            raw = dotted_name(node)
+            if raw in registry:
+                return True, [raw]
+            resolved = lf.resolve(node)
+            if resolved in self.PRIMITIVES or resolved in self.OK_TYPES:
+                return True, []
+            if resolved is not None and \
+                    resolved.split(".")[-1] in registry:
+                name = resolved.split(".")[-1]
+                return True, [name]
+            return False, []
+        if isinstance(node, ast.Subscript):
+            base = lf.resolve(node.value)
+            if base not in self.CONTAINERS:
+                return False, []
+            ok = True
+            referenced = []
+            elts = node.slice.elts if isinstance(node.slice, ast.Tuple) \
+                else [node.slice]
+            for elt in elts:
+                sub_ok, sub_ref = self._tokenizable(lf, elt, registry)
+                ok = ok and sub_ok
+                referenced.extend(sub_ref)
+            return ok, referenced
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            left_ok, left_ref = self._tokenizable(lf, node.left, registry)
+            right_ok, right_ref = self._tokenizable(
+                lf, node.right, registry)
+            return left_ok and right_ok, left_ref + right_ref
+        return False, []
+
+
+class SilentExceptRule(Rule):
+    """Broad exception handlers must re-raise or justify themselves.
+
+    A bare ``except:`` / ``except Exception`` / ``except BaseException``
+    passes only if its body contains a bare ``raise`` (the
+    capture-then-propagate idiom, e.g. the store's torn-write cleanup).
+    Every other broad handler is a degradation site and needs an allow
+    pragma whose reason says why swallowing is safe there.
+    """
+
+    rule_id = "SILENT-EXCEPT"
+    description = "broad except without re-raise or allow pragma"
+
+    BROAD = {"Exception", "BaseException",
+             "builtins.Exception", "builtins.BaseException"}
+
+    def _is_broad(self, lf, handler):
+        if handler.type is None:
+            return True
+        types = handler.type.elts \
+            if isinstance(handler.type, ast.Tuple) else [handler.type]
+        return any(lf.resolve(t) in self.BROAD for t in types)
+
+    def check_file(self, lf):
+        if not _in_repro(lf):
+            return
+        for node in ast.walk(lf.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(lf, node):
+                continue
+            reraises = any(
+                isinstance(sub, ast.Raise) and sub.exc is None
+                for stmt in node.body for sub in ast.walk(stmt))
+            if reraises:
+                continue
+            caught = "bare except" if node.type is None \
+                else f"except {ast.unparse(node.type)}"
+            yield Finding(
+                self.rule_id, lf.display, node.lineno,
+                f"{caught} swallows without re-raising; narrow the "
+                "exception types, re-raise, or add an allow pragma "
+                "explaining why degradation is safe here",
+            )
+
+
+class BlockingInAsyncRule(Rule):
+    """No blocking calls inside ``async def`` without ``to_thread``.
+
+    A blocking call on the event loop stalls every connection the
+    gateway is serving; the repo's idiom is
+    ``await asyncio.to_thread(blocking_fn, ...)``.
+    """
+
+    rule_id = "BLOCKING-IN-ASYNC"
+    description = "blocking call inside async def without to_thread"
+
+    BLOCKING = {
+        "time.sleep", "open", "builtins.open", "input",
+        "socket.socket", "socket.create_connection",
+        "socket.getaddrinfo", "socket.gethostbyname",
+        "subprocess.run", "subprocess.call", "subprocess.check_call",
+        "subprocess.check_output", "subprocess.Popen",
+        "urllib.request.urlopen",
+    }
+
+    def check_file(self, lf):
+        if not _in_repro(lf):
+            return
+        for node in ast.walk(lf.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(lf, node)
+
+    def _check_async_body(self, lf, func):
+        stack = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue  # nested defs run in their own context
+            if isinstance(node, ast.Call):
+                name = lf.resolve(node.func)
+                if name in self.BLOCKING:
+                    yield Finding(
+                        self.rule_id, lf.display, node.lineno,
+                        f"blocking call {name}() inside async def "
+                        f"{func.name}; wrap it in asyncio.to_thread "
+                        "so the event loop keeps serving",
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+
+ALL_RULES = [
+    RngDisciplineRule,
+    WallClockRule,
+    LockGuardedRule,
+    StoreTokenRule,
+    SilentExceptRule,
+    BlockingInAsyncRule,
+]

@@ -328,8 +328,8 @@ class ExperimentService:
         self.store = repro_store.resolve_store(store)
         self.default_deadline_s = default_deadline_s
         self._queue = queue.Queue(maxsize=max(1, int(queue_limit)))
-        self._jobs = {}
-        self._by_key = {}
+        self._jobs = {}  # guarded-by: _lock
+        self._by_key = {}  # guarded-by: _lock
         # Reentrant: _finish must be callable both bare (worker loop
         # finishing a job it just ran) and under the lock (cancel of a
         # queued job, close-time finalization).
@@ -550,7 +550,7 @@ class ExperimentService:
                 job.started = time.monotonic()
             try:
                 result = self._execute(job)
-            except Exception as exc:  # noqa: BLE001 — capture, don't die
+            except Exception as exc:  # repro-lint: allow[SILENT-EXCEPT] worker loop captures the traceback into the job record (FAILED) and keeps serving; dying here would strand every queued job
                 log.warning("job %d (%s) failed: %s", job.id, job.name, exc)
                 self._finish(job, FAILED,
                              error="".join(traceback.format_exception(
@@ -708,8 +708,7 @@ def main_serve(argv=None):
                 name, params, deadline_s = parse_job_request(line)
                 job_ids.append(service.submit(name, params,
                                               deadline_s=deadline_s))
-            except Exception as exc:  # noqa: BLE001 — a bad line must
-                # never take the serving loop down; reject and go on.
+            except Exception as exc:  # repro-lint: allow[SILENT-EXCEPT] a bad stdin line becomes a structured rejection on stdout; it must never take the serving loop down
                 failed += 1
                 print(json.dumps({"state": "rejected",
                                   "error": str(exc),

@@ -300,7 +300,7 @@ def read_record(path, expected_key=None):
         )
     try:
         return pickle.loads(blob)
-    except Exception as exc:
+    except Exception as exc:  # repro-lint: allow[SILENT-EXCEPT] unpickle failure with a matching digest is class drift, mapped to StoreCorruption so callers quarantine and recompute
         # The digest matched, so the writer stored something the
         # current code cannot load (class drift) — same remedy as
         # corruption: quarantine and recompute.

@@ -9,7 +9,12 @@ Runs, in order:
 
 1. the tier-1 test suite (``pytest -x -q`` — fast tests only; the
    ``slow`` and ``bench`` markers are excluded by ``pytest.ini``),
-2. the slow correctness tests (``pytest -m slow``): the banked-vs-
+2. the invariant lint (``python -m repro lint``): the PR 10 static
+   rules over the determinism, store-key, and concurrency contracts
+   (see ``INVARIANTS.md``).  The stage prints per-rule finding counts
+   plus baselined/pragma-suppressed totals, so lint drift is visible
+   in the gate output even when the gate passes,
+3. the slow correctness tests (``pytest -m slow``): the banked-vs-
    scalar and batching equivalence properties, the PR 3 array-kernel /
    backoff-freezing CSMA equivalence suite
    (``tests/test_perf_kernel.py`` — full-trip array==scalar bitwise
@@ -28,17 +33,17 @@ Runs, in order:
    against the dict reference).  The stage fails if the slow marker
    collects nothing, so a marker typo cannot silently skip the
    suite,
-3. the fault-matrix smoke (``tools/fault_smoke.py``): one short ViFi
+4. the fault-matrix smoke (``tools/fault_smoke.py``): one short ViFi
    trip per injected-fault kind (no-fault, BS outage, backplane
    partition, beacon-loss burst) — every cell must complete without
    error and keep delivery above zero while the vehicle is reachable
    (the PR 7 graceful-degradation contract),
-4. the result-store smoke (``tools/store_smoke.py``): a pinned sweep
+5. the result-store smoke (``tools/store_smoke.py``): a pinned sweep
    run cold, warm, with every stored byte-flipped entry quarantined
    and recomputed, and against an unusable store root — the PR 8
    self-healing contract (corruption and dead media cost
    recomputation, never a crash or a wrong result),
-5. the gateway chaos smoke (``tools/gateway_smoke.py``): the PR 9
+6. the gateway chaos smoke (``tools/gateway_smoke.py``): the PR 9
    wire-transport contract — a ``kill -9`` mid-sweep, restart, and
    idempotent resubmission must end bit-identical with warm store
    hits; malformed/slow/oversized requests must map to structured
@@ -46,15 +51,15 @@ Runs, in order:
    complete; SIGTERM must drain gracefully.  Zero server tracebacks
    throughout.  Skips itself (exit 0, with the reason) when loopback
    sockets are unavailable,
-6. the perf gate (``python -m repro bench --repeats 3`` via
+7. the perf gate (``python -m repro bench --repeats 3`` via
    ``tools/perf_smoke.py``), which rewrites ``BENCH_perf.json`` and
    fails on a >20% tracked-rate regression against the committed
    numbers (best-of-3 so container wall-clock noise does not eat the
    headroom).
 
-``--fast`` is the inner-loop variant: tier-1 plus the perf gate,
-skipping the slow equivalence suite (equivalent to ``--skip-slow``;
-run the full check before merging).
+``--fast`` is the inner-loop variant: tier-1, the invariant lint, and
+the perf gate, skipping the slow equivalence suite (equivalent to
+``--skip-slow``; run the full check before merging).
 
 Exits non-zero as soon as a stage fails, and prints a one-line summary
 per stage either way.
@@ -100,6 +105,8 @@ def main(argv=None):
     stages = [
         ("tier-1 tests",
          [sys.executable, "-m", "pytest", "-x", "-q"]),
+        ("invariant lint (python -m repro lint)",
+         [sys.executable, "-m", "repro", "lint"]),
     ]
     if not (args.skip_slow or args.fast):
         stages.append((
